@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's exhibits (Table 1,
+Figures 1-2, or a headline claim) and asserts the *shape* the paper
+reports — who wins, what grows, where the crossover falls — alongside
+the timing pytest-benchmark records.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benchmark runs quiet and ordered by experiment id."""
+    items.sort(key=lambda item: item.nodeid)

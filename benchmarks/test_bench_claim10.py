@@ -1,0 +1,52 @@
+"""Benchmark: Claim 10 — independent executions inside a ball.
+
+Runs the expansion construction on concrete oriented trees and checks
+the harvested set sizes against the closed form, plus the global
+success-probability ceiling it implies.
+"""
+
+import pytest
+
+from repro.analysis import claim10_global_success_bound
+from repro.experiments import run_claim10
+
+
+@pytest.fixture(scope="module")
+def claim10():
+    return run_claim10(delta=4, depth=10, ts=(1, 2), seed_radius=2,
+                       verify_pairwise=False)
+
+
+def test_bench_claim10(benchmark):
+    result = benchmark.pedantic(
+        run_claim10,
+        kwargs={"delta": 4, "depth": 9, "ts": (1,), "seed_radius": 2,
+                "verify_pairwise": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_bounds_hold()
+    assert result.points[0].pairwise_verified
+
+
+def test_set_sizes_beat_closed_form(claim10):
+    for point in claim10.points:
+        if point.in_regime:
+            assert point.set_size >= point.closed_form_bound
+
+
+def test_larger_t_smaller_set(claim10):
+    in_regime = [p for p in claim10.points if p.in_regime]
+    sizes = [p.set_size for p in in_regime]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_global_ceiling_decays_with_set_size():
+    # A local failure of 10% amplifies: the ceiling drops as n grows.
+    small = claim10_global_success_bound(0.1, 10**6, 1)
+    large = claim10_global_success_bound(0.1, 10**12, 1)
+    assert large < small
+
+
+def test_ceiling_below_half_for_large_n():
+    assert claim10_global_success_bound(0.1, 10**15, 1) < 0.5

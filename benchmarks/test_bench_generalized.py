@@ -1,0 +1,80 @@
+"""Benchmark: Section 7 — the lower bound beyond 4-regular trees.
+
+Runs the speedup engine at Delta = 6 (k = 3 dimensions) and checks the
+generalized lemma bounds (Lemmas 14/15), then sweeps the generalized
+recurrence constants across Delta in {4, 6, 8, 10}.
+"""
+
+import pytest
+
+from repro.analysis import claim11_failure_floor_log2, palette_trajectory
+from repro.speedup import (
+    edge_local_failure,
+    first_lemma_bound,
+    first_speedup,
+    local_maximum_coloring,
+    node_local_failure,
+    paper_threshold_first,
+    paper_threshold_second,
+    run_speedup_pipeline,
+    second_lemma_bound,
+    second_speedup,
+)
+
+
+def test_bench_delta6_pipeline(benchmark):
+    seed = local_maximum_coloring(3, bits=1)
+    result = benchmark.pedantic(
+        run_speedup_pipeline, args=(seed,), kwargs={"method": "exact"}, rounds=1,
+        iterations=1,
+    )
+    assert result.all_bounds_hold()
+    assert result.stages[-1].radius == 0
+
+
+def test_delta6_lemma14_bound():
+    seed = local_maximum_coloring(3, bits=1)
+    p = node_local_failure(seed, method="exact").as_float()
+    f = paper_threshold_first(p, seed.palette, seed.delta)
+    edge = first_speedup(seed, f)
+    p_edge = edge_local_failure(edge, method="exact")
+    assert p_edge.exact
+    assert p_edge.as_float() <= first_lemma_bound(p, seed.palette, 6) + 1e-12
+    assert edge.palette.to_float() == 2.0 ** (2 * seed.palette.to_float())
+
+
+def test_delta6_lemma15_bound():
+    seed = local_maximum_coloring(3, bits=1)
+    p = node_local_failure(seed, method="exact").as_float()
+    edge = first_speedup(seed, paper_threshold_first(p, seed.palette, 6))
+    p_edge = edge_local_failure(edge, method="exact").as_float()
+    node = second_speedup(edge, paper_threshold_second(p_edge, edge.palette, 6))
+    p_node = node_local_failure(node, method="exact")
+    assert p_node.as_float() <= second_lemma_bound(p_edge, edge.palette, 6) + 1e-12
+    assert node.palette.log2().to_float() == 6 * edge.palette.to_float()  # 2k edges
+
+
+@pytest.mark.parametrize("delta", [4, 6, 8, 10])
+def test_generalized_palette_towers(delta):
+    traj = palette_trajectory(2, delta)
+    # First step: 2^(delta * 2^(2*2)) = 2^(16 delta).
+    assert traj[1].log2().to_float() == pytest.approx(16 * delta)
+    assert traj[2].log_star() == traj[1].log_star() + 2
+
+
+@pytest.mark.parametrize("delta", [4, 6, 8, 10])
+def test_generalized_claim16_floor(delta):
+    # The exponent base (Delta+1) steepens the floor with Delta.
+    floor = claim11_failure_floor_log2(-10, 5, 2, delta)
+    assert floor < 0
+    steeper = claim11_failure_floor_log2(-10, 5, 2, delta + 2)
+    assert steeper < floor
+
+
+def test_higher_delta_needs_weaker_start():
+    # For the same seed family, the Delta = 6 tree has more neighbors to
+    # collide with: the 0-round uniform floor c^-Delta is smaller, but a
+    # 1-round algorithm's failure is *larger* relative to it.
+    p4 = node_local_failure(local_maximum_coloring(2, bits=1), method="exact").as_float()
+    p6 = node_local_failure(local_maximum_coloring(3, bits=1), method="exact").as_float()
+    assert p6 > 0 and p4 > 0

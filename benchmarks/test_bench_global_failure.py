@@ -1,0 +1,53 @@
+"""Benchmark: local -> global failure amplification (Claim 10 / Lemma 9).
+
+Fixed 1-round anonymous algorithms on growing tori: the measured global
+success collapses with n while staying under the analytic independent-
+execution ceiling — the mechanism behind "success probability strictly
+less than 1/2" in Theorem 6.
+"""
+
+import pytest
+
+from repro.experiments import run_global_failure
+from repro.speedup import smaller_count_coloring
+
+
+@pytest.fixture(scope="module")
+def amplification():
+    return run_global_failure(sizes=(3, 6, 9, 12), trials=200)
+
+
+def test_bench_global_failure(benchmark):
+    result = benchmark.pedantic(
+        run_global_failure,
+        kwargs={"sizes": (3, 6, 9), "trials": 120},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success_decays()
+
+
+def test_success_collapses_with_n(amplification):
+    first = amplification.points[0].measured_success
+    last = amplification.points[-1].measured_success
+    assert last <= first
+    assert last <= 0.05  # essentially dead at 12 x 12 for this seed
+
+
+def test_ceiling_respected(amplification):
+    for point in amplification.points:
+        sigma = (
+            max(point.analytic_ceiling * (1 - point.analytic_ceiling), 0.0025) / 200
+        ) ** 0.5
+        assert point.measured_success <= point.analytic_ceiling + 3 * sigma + 0.05
+
+
+def test_better_seed_survives_longer():
+    strong = run_global_failure(
+        algorithm=smaller_count_coloring(2, bits=2), sizes=(3, 6, 9), trials=150
+    )
+    weak = run_global_failure(sizes=(3, 6, 9), trials=150)
+    assert strong.local_failure < weak.local_failure
+    assert (
+        strong.points[-1].measured_success >= weak.points[-1].measured_success
+    )

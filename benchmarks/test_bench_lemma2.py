@@ -1,0 +1,40 @@
+"""Benchmark: Lemma 2 — the minimality reduction runs in O(1) rounds.
+
+Plant distance-k weak c-colorings on growing trees; the reduction's
+round count must be exactly flat in n, and must move only with (k, c).
+"""
+
+import pytest
+
+from repro.experiments import run_lemma2
+
+SIZES = (50, 200, 800, 3200)
+
+
+def test_bench_lemma2(benchmark):
+    result = benchmark.pedantic(
+        run_lemma2, kwargs={"k": 2, "c": 4, "sizes": SIZES}, rounds=1, iterations=1
+    )
+    assert all(p.verified for p in result.points)
+
+
+@pytest.mark.parametrize("k,c", [(1, 2), (2, 4), (3, 3), (2, 8)])
+def test_rounds_flat_in_n(k, c):
+    result = run_lemma2(k=k, c=c, sizes=SIZES)
+    assert result.rounds_are_constant()
+    assert all(p.verified for p in result.points)
+
+
+def test_rounds_move_with_k():
+    r2 = run_lemma2(k=2, c=4, sizes=(200, 800, 3200)).points[0].rounds
+    r4 = run_lemma2(k=4, c=4, sizes=(200, 800, 3200)).points[0].rounds
+    assert r4 == r2 + 2  # phase 1 costs exactly k rounds
+
+
+def test_phase_accounting():
+    result = run_lemma2(k=2, c=4, sizes=(200,))
+    phases = result.points[0].phase_rounds
+    assert phases["recolor"] == 2
+    assert phases["pointer"] == 1
+    assert phases["mis"] == 3
+    assert sum(phases.values()) == result.points[0].rounds

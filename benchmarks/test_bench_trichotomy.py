@@ -1,0 +1,45 @@
+"""Benchmark: the introduction's cycle trichotomy.
+
+Cycles host exactly three LCL classes — O(1), Theta(log* n), Theta(n) —
+and the three representative algorithms land in them measurably.
+"""
+
+import pytest
+
+from repro.experiments import run_cycle_trichotomy
+
+SIZES = (16, 64, 256, 1024)
+
+
+@pytest.fixture(scope="module")
+def trichotomy():
+    return run_cycle_trichotomy(sizes=SIZES)
+
+
+def test_bench_trichotomy(benchmark):
+    result = benchmark.pedantic(
+        run_cycle_trichotomy, kwargs={"sizes": SIZES}, rounds=1, iterations=1
+    )
+    assert all(row.all_verified for row in result.rows)
+
+
+def test_three_distinct_classes(trichotomy):
+    assert [row.fit.best for row in trichotomy.rows] == [
+        "constant",
+        "log_star",
+        "linear",
+    ]
+
+
+def test_separations_at_largest_n(trichotomy):
+    trivial = trichotomy.rows[0].measurements[-1][1]
+    local = trichotomy.rows[1].measurements[-1][1]
+    global_ = trichotomy.rows[2].measurements[-1][1]
+    assert trivial < local < global_
+    # The local row is orders of magnitude below the global row.
+    assert local * 10 < global_
+
+
+def test_global_row_is_half_n(trichotomy):
+    for n, rounds in trichotomy.rows[2].measurements:
+        assert rounds == n // 2

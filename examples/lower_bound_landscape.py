@@ -1,0 +1,66 @@
+"""The quantitative lower-bound chain (Claims 10-12, Lemma 9, Theorem 13).
+
+Prints, with tower arithmetic where floats give up:
+
+* the Claim 10 independent-execution harvest on a real tree vs the
+  closed form,
+* the palette towers Claim 11's downward walk pays per round,
+* the Claim 11/16 failure floors across Delta,
+* Lemma 9 / Theorem 13's endgame: at n = 2↑↑h the global success
+  ceiling drops below 1/2 exactly when the regime opens (h = 10).
+
+Run:  python examples/lower_bound_landscape.py
+"""
+
+from repro.analysis import (
+    claim10_set_size_bound,
+    claim11_failure_floor_log2,
+    independent_execution_set,
+    lemma9_evaluate,
+    palette_trajectory,
+    theorem13_crossover_height,
+    tower,
+)
+from repro.graphs import balanced_regular_tree, orient_tree
+
+
+def main() -> None:
+    print("1. Claim 10: independent executions inside B_k(v)")
+    tree = balanced_regular_tree(4, 9)
+    orientation = orient_tree(tree, 2)
+    for t in (1, 2):
+        harvest = independent_execution_set(
+            tree, orientation, 0, t=t, ball_radius=8, seed_radius=2, verify=False
+        )
+        effective_n = len(tree.ball(0, 8)) ** 3
+        bound = claim10_set_size_bound(effective_n, t)
+        print(f"   t = {t}: |S| = {harvest.size:4d}  >=  n^(1/(3(2t+1))) = {bound:6.1f}")
+
+    print("\n2. Claim 11: palette towers per round budget (Delta = 4)")
+    for t in (1, 2, 3, 4):
+        c0 = palette_trajectory(t, 4)[-1]
+        print(f"   t = {t}: c_0 = {c0!r}   (log* = {c0.log_star()})")
+
+    print("\n3. Claim 11/16 failure floors (log2 p_t at p0 = 2^-20, c0 = 2^10)")
+    for delta in (4, 6, 8):
+        for t in (1, 2, 3):
+            floor = claim11_failure_floor_log2(-20, 10, t, delta)
+            print(f"   Delta = {delta}, t = {t}: log2 p_t >= {floor:16.4g}")
+
+    print("\n4. Theorem 13: the crossover (b = 1)")
+    for h in (6, 8, 10, 12, 16):
+        ev = lemma9_evaluate(tower(h), b=1)
+        verdict = (
+            "asymptotic regime not reached"
+            if not ev.regime_reached
+            else f"success ceiling < 1/2: {ev.below_half}"
+        )
+        print(f"   n = 2↑↑{h:<2d} (log* n = {ev.log_star_n:2d}, t = {ev.t:4.1f}): {verdict}")
+    print(f"   first tower height with ceiling < 1/2: "
+          f"{theorem13_crossover_height(b=1)}")
+    print("\nweak 2-coloring below (log* n)/2 - 4 rounds succeeds with")
+    print("probability < 1/2 — Theorem 6, evaluated rather than asserted.")
+
+
+if __name__ == "__main__":
+    main()

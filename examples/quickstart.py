@@ -1,0 +1,42 @@
+"""Quickstart: weak 2-coloring in the LOCAL model, end to end.
+
+Builds a 4-regular tree, runs the Theta(log* n) weak-2-coloring pipeline
+(unique identifiers -> distance-parity recoloring -> Cole-Vishkin on the
+pointer pseudoforest -> greedy MIS -> black/white), verifies the result
+with the LCL verifier, and prints the per-phase round accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algorithms import weak_two_coloring_from_ids
+from repro.graphs import balanced_regular_tree, sequential_ids
+from repro.lcl import WeakColoring
+
+
+def main() -> None:
+    tree = balanced_regular_tree(4, depth=5)
+    ids = sequential_ids(tree)
+    print(f"network: balanced 4-regular tree, n = {tree.n}, diameter = {tree.diameter()}")
+
+    result = weak_two_coloring_from_ids(tree, ids)
+
+    verifier = WeakColoring(2)
+    violations = verifier.verify(tree, result.labels)
+    blacks = sum(result.labels)
+    print(f"weak 2-coloring computed in {result.rounds} rounds "
+          f"({blacks} black, {tree.n - blacks} white)")
+    print("phase accounting:")
+    for phase, rounds in result.phase_rounds.items():
+        print(f"  {phase:14s} {rounds} round(s)")
+    if violations:
+        raise SystemExit(f"VERIFIER FAILED: {violations[:3]}")
+    print("verifier: every node has a differently-colored neighbor ✓")
+
+    # The same pipeline is the Lemma 2 minimality reduction: any
+    # distance-k weak c-coloring would have worked as the seed.
+    print("\nthis is Lemma 2 of the paper: weak 2-coloring is *minimal* —")
+    print("any nontrivial symmetry-breaking output reduces to it in O(1) rounds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""The speedup simulation (Sections 5-7) run on concrete algorithms.
+
+Takes a 1-round weak-coloring algorithm on the oriented 4-regular tree,
+applies the first speedup lemma (node -> edge, Figure 1), then the
+second (edge -> node, Figure 2), and prints each stage's *exact* local
+failure probability next to the lemma's guaranteed ceiling.  The nominal
+palette blows up doubly exponentially — the engine of the Omega(log* n)
+lower bound.
+
+Run:  python examples/speedup_simulation.py
+"""
+
+from repro.speedup import (
+    local_maximum_coloring,
+    run_speedup_pipeline,
+    smaller_count_coloring,
+    zero_round_uniform,
+    node_local_failure,
+)
+
+
+def show(seed) -> None:
+    print(f"seed: {seed.name}  (k = {seed.k}, palette = {seed.palette!r}, "
+          f"radius = {seed.t})")
+    result = run_speedup_pipeline(seed, method="exact")
+    for stage in result.stages:
+        bound = "-" if stage.lemma_bound is None else f"{stage.lemma_bound:10.4g}"
+        palette = f"2^{stage.nominal_palette.log2().to_float():g}"
+        print(f"  {stage.kind:4s}  radius={stage.radius}  palette={palette:10s}  "
+              f"p = {stage.measured_failure.as_float():.6f}   lemma bound <= {bound}")
+    print(f"  all lemma bounds hold: {result.all_bounds_hold()}\n")
+
+
+def main() -> None:
+    print("=== Figures 1 & 2, quantitative ===\n")
+    show(local_maximum_coloring(2, bits=1))
+    show(local_maximum_coloring(2, bits=2))
+    show(smaller_count_coloring(2, bits=1))
+
+    print("=== generalization to Delta = 6 (Section 7) ===\n")
+    show(local_maximum_coloring(3, bits=1))
+
+    print("=== the 0-round floor (Claim 12's anchor) ===\n")
+    for c in (2, 4, 8):
+        alg = zero_round_uniform(2, c)
+        p = node_local_failure(alg, method="exact")
+        print(f"  uniform {c}-coloring: failure = {p.probability} "
+              f"(= c^-Delta = {c}^-4 exactly)")
+    print("\nno 0-round algorithm beats uniform guessing; iterating the")
+    print("speedups from a hypothetical fast weak-2-coloring algorithm")
+    print("would contradict this floor — that is Theorem 6.")
+
+
+if __name__ == "__main__":
+    main()

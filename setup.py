@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this library is developed in has no network and no
+``wheel`` package, so PEP 517 editable installs (which require
+``bdist_wheel``) fail.  This shim lets ``pip install -e . --no-use-pep517``
+(or a plain ``python setup.py develop``) work offline.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

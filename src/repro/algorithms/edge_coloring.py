@@ -1,0 +1,69 @@
+"""Proper edge coloring via the line graph.
+
+A proper edge c-coloring of G is a proper node c-coloring of L(G), and
+``Delta(L(G)) <= 2 Delta(G) - 2``, so Linial's pipeline on the line
+graph yields a ``(2 Delta - 1)``-edge-coloring in O(log* n) rounds — a
+Table-1-adjacent classic (edge coloring with >= 3 colors is the
+introduction's example of a *local* cycle problem).
+
+Locality note: one round on L(G) is simulable in one round on G (the
+two endpoints of an edge jointly know everything incident to it), so
+the L(G) round count carries over up to a constant factor; we report
+the L(G) rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..graphs.graph import Edge, Graph
+from ..graphs.transforms import line_graph
+from .proper_coloring import linial_coloring
+
+__all__ = ["EdgeColoringResult", "edge_coloring_via_line_graph", "weak_edge_coloring_via_proper"]
+
+
+@dataclass
+class EdgeColoringResult:
+    """A proper edge coloring plus round accounting."""
+
+    colors: Dict[Edge, int]
+    palette: int
+    rounds: int
+
+
+def edge_coloring_via_line_graph(graph: Graph, ids: Sequence[int]) -> EdgeColoringResult:
+    """Proper ``(2 Delta - 1)``-edge-coloring in O(log* n) L(G)-rounds.
+
+    Line-graph identifiers derive locally from endpoint identifiers
+    (``id_u * (max_id + 1) + id_v`` with ``id_u > id_v``), keeping the
+    whole computation inside the LOCAL model.
+    """
+    if graph.m == 0:
+        return EdgeColoringResult(colors={}, palette=1, rounds=0)
+    lg, edges = line_graph(graph)
+    base = max(ids) + 1
+    lg_ids: List[int] = []
+    for u, v in edges:
+        hi, lo = max(ids[u], ids[v]), min(ids[u], ids[v])
+        lg_ids.append(hi * base + lo)
+    out = linial_coloring(lg, lg_ids, id_space=base * base)
+    colors = {edge: out.colors[i] for i, edge in enumerate(edges)}
+    return EdgeColoringResult(
+        colors=colors, palette=lg.max_degree() + 1, rounds=out.rounds
+    )
+
+
+def weak_edge_coloring_via_proper(graph: Graph, ids: Sequence[int]) -> EdgeColoringResult:
+    """A weak edge coloring (Section 5's problem) on any oriented graph.
+
+    A *proper* edge coloring makes all edges at a node pairwise distinct,
+    so every complete dimension's two edges differ — a weak edge coloring
+    for any consistent orientation, with palette ``2 Delta - 1`` and
+    O(log* n) rounds.  This is the constructive upper bound complementing
+    the speedup engine's use of weak edge colorings as an *intermediate*
+    object: the problem itself is easy at Theta(log* n); the lower-bound
+    machinery is about what happens strictly faster.
+    """
+    return edge_coloring_via_line_graph(graph, ids)

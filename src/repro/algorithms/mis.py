@@ -1,0 +1,67 @@
+"""Maximal independent set from a proper coloring, and MIS-based weak
+2-coloring.
+
+Given a proper c-coloring, color classes join the independent set in
+turn (a node joins iff none of its neighbors joined earlier) — ``c``
+rounds, each class being independent so simultaneous joins are safe.
+With Linial's (Delta+1)-coloring this is the classical O(log* n) MIS on
+bounded-degree graphs; interpreting the MIS as black nodes is the
+"natural way" Lemma 2 turns an MIS into a weak 2-coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from .proper_coloring import ProperColoringResult, linial_coloring
+
+__all__ = ["MISResult", "greedy_mis_from_coloring", "mis_via_linial", "weak_two_coloring_from_mis"]
+
+
+@dataclass
+class MISResult:
+    """An MIS plus its round accounting."""
+
+    in_mis: List[bool]
+    rounds: int
+
+
+def greedy_mis_from_coloring(
+    graph: Graph, colors: Sequence[int], palette: int
+) -> MISResult:
+    """Color classes 0..palette-1 join greedily, one class per round."""
+    in_mis = [False] * graph.n
+    blocked = [False] * graph.n
+    for cls in range(palette):
+        joining = [
+            v
+            for v in graph.nodes()
+            if colors[v] == cls and not blocked[v] and not in_mis[v]
+        ]
+        for v in joining:
+            in_mis[v] = True
+        for v in joining:
+            for u in graph.neighbors(v):
+                blocked[u] = True
+    return MISResult(in_mis=in_mis, rounds=palette)
+
+
+def mis_via_linial(graph: Graph, ids: Sequence[int]) -> MISResult:
+    """O(log* n) MIS: Linial coloring, then greedy class joins."""
+    coloring = linial_coloring(graph, ids)
+    mis = greedy_mis_from_coloring(graph, coloring.colors, graph.max_degree() + 1)
+    return MISResult(in_mis=mis.in_mis, rounds=coloring.rounds + mis.rounds)
+
+
+def weak_two_coloring_from_mis(graph: Graph, in_mis: Sequence[bool]) -> List[int]:
+    """Interpret an MIS as a weak 2-coloring (MIS = black = 1).
+
+    Every non-MIS node is dominated (maximality) and every MIS node's
+    neighbors are all non-MIS (independence), so on graphs of minimum
+    degree 1 this is a weak 2-coloring; 0 extra rounds.
+    """
+    if graph.min_degree() < 1:
+        raise ValueError("weak 2-coloring needs minimum degree 1")
+    return [1 if in_mis[v] else 0 for v in graph.nodes()]

@@ -1,0 +1,284 @@
+"""Solving the pointer problem P* (Lemma 3 and Lemma 17).
+
+Lemma 3: in time O(r), P* can be solved in the 1-neighborhood of every
+node that has an irregularity within distance r.  The algorithm (Section
+8.1) makes every such node point toward its preferred irregularity:
+
+* cycles are preferred, closest first, ties by smallest maximum
+  identifier; a node *on* its chosen cycle follows the cycle's canonical
+  orientation (the smallest-identifier cycle node points toward its
+  smaller neighbor, everyone follows), labeled ``d = 0``;
+* otherwise the closest low-degree node ``u`` wins (ties: smaller degree,
+  then smaller identifier); nodes on the path advertise ``d = deg(u)``,
+  except that a path node whose own preference is a cycle forces the
+  advertisement down to ``d = 0``.
+
+Lemma 17: every node of a graph of maximum degree Delta sees an
+irregularity within O(log_Delta n) — a ball of larger radius with all
+degrees Delta and no cycle would exceed n nodes — so growing ``r``
+geometrically solves P* everywhere in O(log n) rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from ..lcl.pointer import (
+    CycleIrregularity,
+    Irregularity,
+    LowDegreeIrregularity,
+    PStarLabel,
+    closest_irregularity,
+    degree_delta_cycles,
+)
+
+__all__ = ["PStarSolution", "solve_pstar_partial", "solve_pstar"]
+
+
+@dataclass
+class PStarSolution:
+    """Outcome of a P* solve.
+
+    Attributes
+    ----------
+    labels:
+        Per-node :class:`PStarLabel`, ``None`` where the radius did not
+        reach an irregularity (possible only in the partial solve).
+    radius:
+        The look-ahead radius ``r`` used.
+    rounds:
+        Round cost: the algorithm inspects ``B_{2r}(v)`` (the extra ``r``
+        is the cycle-diversion check on the path), so ``2 * r``.
+    """
+
+    labels: List[Optional[PStarLabel]]
+    radius: int
+    rounds: int
+
+    def labeled_fraction(self) -> float:
+        """Fraction of nodes that received a label."""
+        if not self.labels:
+            return 1.0
+        return sum(1 for x in self.labels if x is not None) / len(self.labels)
+
+
+def _cycle_pointer(
+    cycle: CycleIrregularity, v: int, ids: Sequence[int]
+) -> int:
+    """Where a node on ``cycle`` points: follow the canonical orientation.
+
+    The cycle node with the smallest identifier points toward its
+    smaller-identifier cycle neighbor; every other node continues in the
+    same rotational direction.
+    """
+    nodes = cycle.nodes
+    k = len(nodes)
+    leader_pos = min(range(k), key=lambda i: ids[nodes[i]])
+    succ = nodes[(leader_pos + 1) % k]
+    pred = nodes[(leader_pos - 1) % k]
+    step = 1 if ids[succ] < ids[pred] else -1
+    pos = nodes.index(v)
+    return nodes[(pos + step) % k]
+
+
+def _next_hop_toward(
+    graph: Graph, v: int, dist: Dict[int, int], ids: Sequence[int]
+) -> int:
+    """The smallest-identifier neighbor strictly closer to the target."""
+    best: Optional[Tuple[int, int]] = None
+    dv = dist[v]
+    for u in graph.neighbors(v):
+        if dist.get(u, dv) == dv - 1:
+            key = (ids[u], u)
+            if best is None or key < best:
+                best = key
+    if best is None:
+        raise AssertionError(f"node {v} has no neighbor closer to its target (bug)")
+    return best[1]
+
+
+def _solve_pstar_acyclic(
+    graph: Graph, delta: int, r: int, ids: Sequence[int]
+) -> PStarSolution:
+    """Fast path for graphs with no degree-Delta cycle in range.
+
+    A single multi-source Dijkstra with composite keys ``(distance,
+    degree, identifier)`` — exactly Lemma 3's low-degree preference
+    rule — labels every node at once.  Along any pointer chain the
+    winning key's target is provably consistent (two adjacent nodes
+    whose best distances differ by one share the same best target), so
+    chains carry one ``d`` value and terminate at their target.
+    """
+    import heapq
+
+    n = graph.n
+    INF = (r + 1, 0, 0, -1)
+    best: List[Tuple[int, int, int, int]] = [INF] * n  # (dist, deg_t, id_t, t)
+    heap = []
+    for u in graph.nodes():
+        if graph.degree(u) < delta:
+            key = (0, graph.degree(u), ids[u], u)
+            best[u] = key
+            heapq.heappush(heap, key + (u,))
+    while heap:
+        dist, deg_t, id_t, t, v = heapq.heappop(heap)
+        if best[v] != (dist, deg_t, id_t, t):
+            continue
+        if dist >= r:
+            continue
+        for w in graph.neighbors(v):
+            candidate = (dist + 1, deg_t, id_t, t)
+            if candidate < best[w]:
+                best[w] = candidate
+                heapq.heappush(heap, candidate + (w,))
+
+    labels: List[Optional[PStarLabel]] = [None] * n
+    for v in graph.nodes():
+        deg = graph.degree(v)
+        if deg < delta:
+            labels[v] = PStarLabel(d=deg, p=None)
+            continue
+        dist, deg_t, id_t, t = best[v]
+        if t < 0 or dist > r:
+            continue
+        hop = min(
+            (ids[w], w)
+            for w in graph.neighbors(v)
+            if best[w][0] == dist - 1 and best[w][1:] == (deg_t, id_t, t)
+        )[1]
+        labels[v] = PStarLabel(d=deg_t, p=hop)
+    return PStarSolution(labels=labels, radius=r, rounds=2 * r)
+
+
+def solve_pstar_partial(
+    graph: Graph,
+    delta: int,
+    r: int,
+    ids: Sequence[int],
+) -> PStarSolution:
+    """Lemma 3: label all nodes with an irregularity within distance ``r``.
+
+    Nodes whose radius-``r`` surroundings are a clean piece of
+    Delta-regular tree stay unlabeled.  The returned labeling is
+    P*-happy at every labeled node whose pointer target is labeled —
+    which, per Lemma 3, covers the 1-neighborhood of every node within
+    distance ``r`` of an irregularity.
+    """
+    if r < 0:
+        raise ValueError("radius must be non-negative")
+    n = graph.n
+    # Forests cannot contain cycle irregularities; skipping the cycle
+    # enumeration keeps the common (tree) case near-linear.
+    cycle_free = graph.m == n - len(graph.connected_components())
+    cycles = (
+        []
+        if cycle_free
+        else degree_delta_cycles(graph, delta, max_length=2 * r + 1)
+    )
+    if not cycles:
+        return _solve_pstar_acyclic(graph, delta, r, ids)
+
+    irr: List[Optional[Irregularity]] = [
+        closest_irregularity(graph, v, delta, r, ids, cycles=cycles) for v in graph.nodes()
+    ]
+
+    # Cache multi-source BFS per irregularity target.
+    bfs_cache: Dict[Tuple, Dict[int, int]] = {}
+
+    def distances_to(target: Irregularity) -> Dict[int, int]:
+        key = (
+            ("node", target.node)
+            if isinstance(target, LowDegreeIrregularity)
+            else ("cycle", target.nodes)
+        )
+        if key not in bfs_cache:
+            if isinstance(target, LowDegreeIrregularity):
+                bfs_cache[key] = graph.bfs_distances(target.node)
+            else:
+                # Multi-source BFS from the cycle nodes.
+                from collections import deque
+
+                dist = {u: 0 for u in target.nodes}
+                frontier = deque(target.nodes)
+                while frontier:
+                    x = frontier.popleft()
+                    for y in graph.neighbors(x):
+                        if y not in dist:
+                            dist[y] = dist[x] + 1
+                            frontier.append(y)
+                bfs_cache[key] = dist
+        return bfs_cache[key]
+
+    labels: List[Optional[PStarLabel]] = [None] * n
+    for v in graph.nodes():
+        deg = graph.degree(v)
+        if deg < delta:
+            labels[v] = PStarLabel(d=deg, p=None)
+            continue
+        target = irr[v]
+        if target is None:
+            continue
+        if isinstance(target, CycleIrregularity):
+            if v in target.nodes:
+                labels[v] = PStarLabel(d=0, p=_cycle_pointer(target, v, ids))
+            else:
+                dist = distances_to(target)
+                labels[v] = PStarLabel(d=0, p=_next_hop_toward(graph, v, dist, ids))
+            continue
+        # Low-degree target u: walk the canonical path and look for a
+        # cycle-preferring node on it (the Lemma 3 diversion rule).
+        dist = distances_to(target)
+        hop = _next_hop_toward(graph, v, dist, ids)
+        diverted = False
+        x = hop
+        while x != target.node:
+            if isinstance(irr[x], CycleIrregularity):
+                diverted = True
+                break
+            x = _next_hop_toward(graph, x, dist, ids)
+        d_value = 0 if diverted else target.degree
+        labels[v] = PStarLabel(d=d_value, p=hop)
+
+    return PStarSolution(labels=labels, radius=r, rounds=2 * r)
+
+
+def solve_pstar(graph: Graph, delta: int, ids: Sequence[int]) -> PStarSolution:
+    """Lemma 17: solve P* everywhere in O(log_Delta n) rounds.
+
+    On forests the minimal radius is computed exactly (the farthest any
+    node sits from a low-degree node); cyclic graphs grow the radius
+    geometrically until every node is covered.  The geometric growth of
+    degree-Delta tree balls guarantees ``r = O(log_Delta n)`` either
+    way, and the radius used is reported so callers can chart the
+    measured complexity.
+    """
+    cycle_free = graph.m == graph.n - len(graph.connected_components())
+    if cycle_free:
+        from collections import deque
+
+        dist = {v: 0 for v in graph.nodes() if graph.degree(v) < delta}
+        if len(dist) < graph.n:
+            frontier = deque(dist)
+            while frontier:
+                x = frontier.popleft()
+                for y in graph.neighbors(x):
+                    if y not in dist:
+                        dist[y] = dist[x] + 1
+                        frontier.append(y)
+        if len(dist) != graph.n:
+            raise ValueError(
+                f"no node of degree < {delta} exists; an acyclic graph cannot "
+                "be Delta-regular, so check the delta argument"
+            )
+        return solve_pstar_partial(graph, delta, max(dist.values(), default=0), ids)
+
+    r = 1
+    while True:
+        solution = solve_pstar_partial(graph, delta, r, ids)
+        if all(label is not None for label in solution.labels):
+            return solution
+        if r > 4 * graph.n:
+            raise AssertionError("P* radius exceeded 4n without full coverage (bug)")
+        r *= 2

@@ -1,0 +1,71 @@
+"""Quantitative machinery: towers, recurrences, independence counting, bounds."""
+
+from .towers import TowerNumber, tower, log_star_float, iterated_log, exp2_scaled
+from .independence import (
+    IndependentSetResult,
+    independent_execution_set,
+    claim10_set_size_bound,
+    claim10_global_success_bound,
+    claim10_ball_radius,
+)
+from .recurrence import (
+    palette_trajectory,
+    claim11_failure_floor_log2,
+    claim12_round_threshold,
+    claim12_c0_ceiling,
+    claim12_failure_floor_reciprocal,
+    Lemma9Evaluation,
+    lemma9_evaluate,
+    theorem13_crossover_height,
+)
+from .gaps import (
+    derandomization_instance_size,
+    derandomized_bound,
+    forbidden_deterministic_gap,
+    forbidden_randomized_gap,
+    classify_homogeneous,
+    HOMOGENEOUS_CLASSES,
+    GapViolation,
+)
+from .bounds import (
+    zero_round_failure_of_distribution,
+    zero_round_optimal_failure,
+    id_collision_probability_bound,
+    first_lemma_bound,
+    second_lemma_bound,
+    theorem6_round_floor,
+)
+
+__all__ = [
+    "TowerNumber",
+    "tower",
+    "log_star_float",
+    "iterated_log",
+    "exp2_scaled",
+    "IndependentSetResult",
+    "independent_execution_set",
+    "claim10_set_size_bound",
+    "claim10_global_success_bound",
+    "claim10_ball_radius",
+    "palette_trajectory",
+    "claim11_failure_floor_log2",
+    "claim12_round_threshold",
+    "claim12_c0_ceiling",
+    "claim12_failure_floor_reciprocal",
+    "Lemma9Evaluation",
+    "lemma9_evaluate",
+    "theorem13_crossover_height",
+    "derandomization_instance_size",
+    "derandomized_bound",
+    "forbidden_deterministic_gap",
+    "forbidden_randomized_gap",
+    "classify_homogeneous",
+    "HOMOGENEOUS_CLASSES",
+    "GapViolation",
+    "zero_round_failure_of_distribution",
+    "zero_round_optimal_failure",
+    "id_collision_probability_bound",
+    "first_lemma_bound",
+    "second_lemma_bound",
+    "theorem6_round_floor",
+]

@@ -1,0 +1,68 @@
+"""Closed-form bound evaluators used across tests and benches.
+
+Collects the scattered inequalities of Sections 4-7 in one place:
+
+* the 0-round floor of Claim 12 (uniform guessing is optimal);
+* the per-step guarantees of Lemmas 7/8/14/15 (re-exported from
+  :mod:`repro.speedup.transform` for discoverability);
+* the birthday bound on random identifiers from Claim 10;
+* the end-to-end Theorem 6/13 statement helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..speedup.transform import (  # noqa: F401 - re-exported on purpose
+    first_lemma_bound,
+    second_lemma_bound,
+)
+
+__all__ = [
+    "zero_round_failure_of_distribution",
+    "zero_round_optimal_failure",
+    "id_collision_probability_bound",
+    "first_lemma_bound",
+    "second_lemma_bound",
+    "theorem6_round_floor",
+]
+
+
+def zero_round_failure_of_distribution(q: Sequence[float], delta: int) -> float:
+    """Local failure of a 0-round algorithm drawing colors from ``q``.
+
+    The node and its ``delta`` neighbors draw independently, so the
+    failure (all neighbors match the node) is ``sum_i q_i^(delta+1)``.
+    """
+    if abs(sum(q) - 1.0) > 1e-9:
+        raise ValueError("q must be a probability distribution")
+    return sum(x ** (delta + 1) for x in q)
+
+
+def zero_round_optimal_failure(c: int, delta: int) -> float:
+    """Claim 12's floor: the uniform distribution minimizes failure.
+
+    ``min_q sum q_i^(delta+1) = c * (1/c)^(delta+1) = c^(-delta)`` by
+    power-mean convexity — hence ``p_0 >= 1 / c_0^Delta``.
+    """
+    if c < 1:
+        raise ValueError("palette must be positive")
+    return float(c) ** (-delta)
+
+
+def id_collision_probability_bound(ball_nodes: int, n: int) -> float:
+    """Claim 10's birthday bound: ``binom(m, 2) / n < 1 / (2 n^{1/3})``
+    when ``m = n^{1/3}`` nodes draw uniform IDs from ``{1..n}``."""
+    return ball_nodes * (ball_nodes - 1) / (2.0 * n)
+
+
+def theorem6_round_floor(n: int, b: int = 1) -> float:
+    """The round threshold below which Theorem 6 forbids success >= 1/2.
+
+    ``t = log*(n)/2 - b - 3`` — any weak 2-coloring algorithm faster
+    than this has global success probability strictly below 1/2.
+    """
+    from .towers import log_star_float
+
+    return log_star_float(float(n)) / 2.0 - b - 3

@@ -1,0 +1,109 @@
+"""The complexity-gap theorems (Appendix A.1), as an executable oracle.
+
+The paper's classification rests on prior gap results, restated in its
+Appendix A.1; this module renders them operational:
+
+* :func:`derandomization_instance_size` / :func:`derandomized_bound` —
+  Theorem 19: the deterministic complexity at ``n`` is at most the
+  randomized complexity at ``2^(n^2)`` (instance sizes returned as
+  :class:`~repro.analysis.towers.TowerNumber`, since ``2^(n^2)``
+  escapes floats around n = 32).
+* :func:`forbidden_deterministic_gap` / :func:`forbidden_randomized_gap`
+  — Theorems 21-23: the (omega(1), o(log log* n)) gap for all LCLs, the
+  deterministic (omega(log* n), o(log n)) gap, and the randomized
+  (omega(log* n), o(log log n)) gap, as predicates on growth labels.
+* :func:`classify_homogeneous` — Theorem 5's completeness: a measured
+  growth class maps onto exactly one of the four homogeneous classes,
+  and anything else (sqrt, linear, ...) is rejected as a forbidden gap
+  — which doubles as a sanity oracle for the experiment harness: a
+  measured curve landing in a gap means the *measurement* is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .towers import TowerNumber, exp2_scaled
+
+__all__ = [
+    "derandomization_instance_size",
+    "derandomized_bound",
+    "forbidden_deterministic_gap",
+    "forbidden_randomized_gap",
+    "classify_homogeneous",
+    "HOMOGENEOUS_CLASSES",
+    "GapViolation",
+]
+
+
+class GapViolation(ValueError):
+    """A complexity claim landed inside a proven gap."""
+
+
+#: Theorem 5's four classes, keyed by the growth label of the
+#: *deterministic* complexity curve (log-star measures flat at feasible n).
+HOMOGENEOUS_CLASSES: Dict[str, str] = {
+    "constant": "(1) O(1) deterministic and randomized",
+    "log_star": "(2) Theta(log* n) deterministic and randomized",
+    "log": "(3)/(4) Theta(log n) deterministic "
+    "(randomized Theta(log log n) or Theta(log n))",
+}
+
+
+def derandomization_instance_size(n: Union[int, float]) -> TowerNumber:
+    """Theorem 19's blow-up: the instance size ``2^(n^2)``."""
+    if n < 1:
+        raise ValueError("instance size must be at least 1")
+    return exp2_scaled(TowerNumber.from_float(float(n)), float(n))
+
+
+def derandomized_bound(randomized_complexity, n: Union[int, float]) -> float:
+    """Theorem 19 as a combinator: det(n) <= rand(2^(n^2)).
+
+    ``randomized_complexity`` maps a :class:`TowerNumber` instance size
+    to a round count; the returned value upper-bounds the deterministic
+    complexity at ``n``.
+    """
+    return float(randomized_complexity(derandomization_instance_size(n)))
+
+
+def forbidden_deterministic_gap(label: str) -> bool:
+    """Whether a growth label falls in a deterministic LCL gap.
+
+    Theorem 21 empties (omega(1), o(log log* n)); Theorem 22 empties
+    (omega(log* n), o(log n)).  Of this library's fit vocabulary
+    ({constant, log_star, log, sqrt, linear}), ``sqrt`` lands in the
+    (log* n, log n)... no — sqrt(n) exceeds log n; the genuinely
+    forbidden labels here are sub-log-star shapes like
+    ``log_log_star`` and intermediates like ``sqrt_log_star`` (the
+    paper's open-question region, closed for homogeneous LCLs by its
+    main theorem); both are recognized by name.
+    """
+    return label in ("log_log_star", "sqrt_log_star", "between_log_star_and_log")
+
+
+def forbidden_randomized_gap(label: str) -> bool:
+    """Theorem 23: randomized complexities cannot sit strictly between
+    log* n and log log n (label ``between_log_star_and_log_log``)."""
+    return label in (
+        "log_log_star",
+        "sqrt_log_star",
+        "between_log_star_and_log_log",
+    )
+
+
+def classify_homogeneous(label: str) -> str:
+    """Map a measured growth label onto a Theorem 5 class.
+
+    Raises
+    ------
+    GapViolation
+        If the label corresponds to no class — i.e. the measurement
+        claims a complexity the classification forbids.
+    """
+    if label in HOMOGENEOUS_CLASSES:
+        return HOMOGENEOUS_CLASSES[label]
+    raise GapViolation(
+        f"growth class {label!r} lies in a forbidden gap for homogeneous "
+        f"LCLs (Theorem 5 allows only {sorted(HOMOGENEOUS_CLASSES)})"
+    )

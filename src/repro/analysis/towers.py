@@ -1,0 +1,187 @@
+"""Tower arithmetic for the paper's quantitative claims.
+
+The recurrences of Section 6 produce numbers like ``c_0 ~ 2^(4*2^(2*...))``
+with tower height Theta(log* n) — far beyond floats and even beyond
+arbitrary-precision integers for moderate ``t``.  :class:`TowerNumber`
+represents such quantities just accurately enough for the paper's
+manipulations, which only ever *compare* towers and take *iterated
+logarithms* of them:
+
+    x  =  2 ↑↑ height  raised on top of ``top``      (x = 2^(2^(...^top)))
+
+i.e. ``height`` applications of ``2**_`` starting from the float
+``top >= 1``.  ``log2`` peels one level; numbers small enough collapse
+to plain floats.  Comparisons use the standard normalization (peel both
+sides simultaneously).
+
+This is deliberately *not* a general tetration library: only the
+operations the bound evaluators need are provided, each exact in the
+regime the paper uses them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["TowerNumber", "tower", "log_star_float", "iterated_log", "exp2_scaled"]
+
+#: Floats above this are promoted into tower form before exponentiation.
+_FLOAT_CAP = 1e300
+
+
+def log_star_float(x: float, base: float = 2.0) -> int:
+    """Iterated logarithm of a float: least k with log^(k) x <= 1."""
+    count = 0
+    while x > 1:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class TowerNumber:
+    """``2 ↑↑ height`` applied on top of the float ``top``.
+
+    Invariants: ``top >= 1`` and whenever ``height > 0`` the value is
+    kept in *canonical* form: ``top`` small enough that ``2**top``
+    overflows floats only at the topmost level (i.e. ``top <= 1024``),
+    so two canonical towers compare by ``(height, top)`` after aligning
+    heights.
+    """
+
+    height: int
+    top: float
+
+    def __post_init__(self) -> None:
+        if self.top < 1:
+            raise ValueError("tower top must be >= 1")
+        if self.height < 0:
+            raise ValueError("tower height must be non-negative")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_float(x: float) -> "TowerNumber":
+        """Wrap a float (>= 1) as a height-0 tower."""
+        if x < 1:
+            raise ValueError("TowerNumber represents values >= 1")
+        return TowerNumber(0, x)
+
+    def _canonical(self) -> "TowerNumber":
+        """Push the top down while it stays a representable float."""
+        height, top = self.height, self.top
+        while height > 0 and top < 1024:  # 2.0**1024 overflows doubles
+            top = 2.0**top
+            height -= 1
+        return TowerNumber(height, top)
+
+    # ------------------------------------------------------------------
+    def log2(self) -> "TowerNumber":
+        """Peel one exponential level."""
+        if self.height > 0:
+            return TowerNumber(self.height - 1, self.top)
+        if self.top <= 1:
+            raise ValueError("log2 of a value <= 1 leaves the domain")
+        return TowerNumber(0, max(1.0, math.log2(self.top)))
+
+    def iterated_log2(self, times: int) -> "TowerNumber":
+        """``times`` applications of :meth:`log2` (clamped at 1)."""
+        out: TowerNumber = self
+        for _ in range(times):
+            if out.height == 0 and out.top <= 1:
+                return TowerNumber(0, 1.0)
+            out = out.log2()
+        return out
+
+    def exp2(self) -> "TowerNumber":
+        """``2 ** self``."""
+        if self.height == 0 and self.top < 1024:
+            return TowerNumber(0, 2.0**self.top)
+        return TowerNumber(self.height + 1, self.top)
+
+    def log_star(self) -> int:
+        """The iterated logarithm as an integer."""
+        canon = self._canonical()
+        return canon.height + log_star_float(canon.top)
+
+    def to_float(self) -> float:
+        """The value as a float, or ``inf`` if it does not fit."""
+        canon = self._canonical()
+        if canon.height == 0:
+            return canon.top
+        return math.inf
+
+    def is_finite_float(self) -> bool:
+        """Whether :meth:`to_float` returns a finite value."""
+        return self._canonical().height == 0
+
+    # ------------------------------------------------------------------
+    def _key(self) -> "tuple[int, float]":
+        c = self._canonical()
+        return (c.height, c.top)
+
+    def __lt__(self, other: Union["TowerNumber", float]) -> bool:
+        other_t = other if isinstance(other, TowerNumber) else TowerNumber.from_float(float(other))
+        a, b = self._key(), other_t._key()
+        if a[0] != b[0]:
+            # Aligning: a taller canonical tower is larger except for edge
+            # tops; canonical form makes the plain comparison sound because
+            # height-h towers with top > 1024 exceed any height-(h-1) tower
+            # with float top.
+            return a[0] < b[0]
+        return a[1] < b[1]
+
+    def __le__(self, other: Union["TowerNumber", float]) -> bool:
+        return self < other or self == other
+
+    def __gt__(self, other: Union["TowerNumber", float]) -> bool:
+        return not self <= other
+
+    def __ge__(self, other: Union["TowerNumber", float]) -> bool:
+        return not self < other
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            other = TowerNumber.from_float(float(other))
+        if not isinstance(other, TowerNumber):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        c = self._canonical()
+        if c.height == 0:
+            return f"TowerNumber({c.top:g})"
+        return f"TowerNumber(2↑↑{c.height} on {c.top:g})"
+
+
+def tower(height: int, top: float = 1.0) -> TowerNumber:
+    """``2 ↑↑ height`` on ``top`` — e.g. ``tower(3) = 2^(2^2) = 16``."""
+    return TowerNumber(height, top)._canonical()
+
+
+def iterated_log(x: Union[float, TowerNumber], times: int) -> TowerNumber:
+    """``log^(times)`` of ``x`` as a TowerNumber (clamped at 1)."""
+    t = x if isinstance(x, TowerNumber) else TowerNumber.from_float(float(x))
+    return t.iterated_log2(times)
+
+
+def exp2_scaled(x: Union[float, TowerNumber], scale: float) -> TowerNumber:
+    """``2 ** (scale * x)`` with small-constant absorption on towers.
+
+    Exact while ``scale * x`` is a representable float; once ``x`` is a
+    genuine tower, a small multiplicative factor does not move the
+    canonical form at the precision the paper's manipulations use (they
+    drop such factors too).  This is the palette-growth primitive of the
+    speedup recurrences (``2^{2c}``, ``2^{Delta * c}``).
+    """
+    t = x if isinstance(x, TowerNumber) else TowerNumber.from_float(float(x))
+    if t.height == 0:
+        scaled = t.top * scale
+        if scaled < 1024:  # 2.0**1024 already overflows doubles
+            return TowerNumber(0, 2.0**scaled)
+        return TowerNumber(1, scaled)
+    return TowerNumber(t.height + 1, t.top)

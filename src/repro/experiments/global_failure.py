@@ -1,0 +1,108 @@
+"""Local failure -> global failure: Claim 10's amplification, measured.
+
+Theorem 6 says a too-fast weak-2-coloring algorithm succeeds globally
+with probability < 1/2.  The mechanism is Claim 10: a constant *local*
+failure probability, amplified over ~n^c independent executions, kills
+the global success probability as n grows.  This experiment runs fixed
+1-round anonymous algorithms on growing toroidal networks (4-regular,
+leafless, consistently oriented — the even-degree setting of the
+theorem) and measures the global success rate directly, next to the
+analytic ceiling ``(1 - p_local)^m`` with ``m`` the number of nodes one
+can pack at pairwise distance >= 2t + 1 (for a torus: a stride-3 grid).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..graphs.generators import toroidal_grid
+from ..graphs.orientation import orient_torus
+from ..speedup.algorithms import NodeAlgorithm, local_maximum_coloring
+from ..speedup.failure import node_local_failure
+from ..speedup.finite_runner import estimate_global_success
+
+__all__ = ["GlobalFailurePoint", "GlobalFailureResult", "run_global_failure"]
+
+
+@dataclass
+class GlobalFailurePoint:
+    """One torus size."""
+
+    rows: int
+    cols: int
+    n: int
+    measured_success: float
+    independent_executions: int
+    analytic_ceiling: float
+
+
+@dataclass
+class GlobalFailureResult:
+    """The sweep for one algorithm."""
+
+    algorithm: str
+    local_failure: float
+    trials: int
+    points: List[GlobalFailurePoint] = field(default_factory=list)
+
+    def success_decays(self) -> bool:
+        """Whether measured success is non-increasing in n (with slack)."""
+        rates = [p.measured_success for p in self.points]
+        return all(b <= a + 0.1 for a, b in zip(rates, rates[1:]))
+
+    def format_table(self) -> str:
+        lines = [
+            f"algorithm {self.algorithm}: local failure p = {self.local_failure:.4f}, "
+            f"{self.trials} trials per size"
+        ]
+        lines.append(f"{'torus':>10s} {'n':>6s} {'success':>9s} {'ceiling':>9s}")
+        for p in self.points:
+            lines.append(
+                f"{p.rows:>4d} x {p.cols:<4d} {p.n:>6d} {p.measured_success:>9.3f} "
+                f"{p.analytic_ceiling:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_global_failure(
+    algorithm: Optional[NodeAlgorithm] = None,
+    sizes: Sequence[int] = (3, 6, 9, 12),
+    trials: int = 200,
+    rng_seed: int = 0,
+) -> GlobalFailureResult:
+    """Measure global success on square tori of the given side lengths.
+
+    The default algorithm is the 2-bit local-maximum seed (radius 1 —
+    the largest radius a torus supports soundly).  The analytic ceiling
+    uses the exact local failure probability and a stride-3 packing of
+    independent executions: ``m = floor(rows/3) * floor(cols/3)``.
+    """
+    algorithm = algorithm or local_maximum_coloring(2, bits=2)
+    if algorithm.t > 1:
+        raise ValueError("tori are locally tree-like only up to radius 1")
+    p_local = node_local_failure(algorithm, method="exact").as_float()
+    rng = random.Random(rng_seed)
+    result = GlobalFailureResult(
+        algorithm=algorithm.name, local_failure=p_local, trials=trials
+    )
+    for side in sizes:
+        graph = toroidal_grid(side, side)
+        orientation = orient_torus(graph, side, side)
+        measured = estimate_global_success(
+            algorithm, graph, orientation, trials=trials,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        m = (side // 3) * (side // 3)
+        result.points.append(
+            GlobalFailurePoint(
+                rows=side,
+                cols=side,
+                n=graph.n,
+                measured_success=measured,
+                independent_executions=m,
+                analytic_ceiling=(1 - p_local) ** m,
+            )
+        )
+    return result

@@ -1,0 +1,230 @@
+"""Consistent edge orientations for 2k-regular graphs.
+
+Section 5 of the paper assumes 4-regular trees whose edges carry labels in
+``{U, D, L, R}`` such that an edge labeled ``R`` at one endpoint is labeled
+``L`` at the other, and ``U`` pairs with ``D``.  Section 7 generalizes to
+2k-regular trees with ``k`` *dimensions*: every full-degree node has, for
+each dimension ``d``, exactly one incident edge in the positive direction
+of ``d`` and one in the negative direction.
+
+We model a consistent orientation as an assignment ``edge -> (dim, low)``
+where ``low`` is the endpoint that sees the edge in the *positive*
+direction of dimension ``dim`` (think "moving right/up from ``low``").
+
+For 4-regular graphs the classical names map as::
+
+    dim 0, sign +1  ->  R        dim 1, sign +1  ->  U
+    dim 0, sign -1  ->  L        dim 1, sign -1  ->  D
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .graph import Graph, Edge, edge_key
+
+__all__ = [
+    "Orientation",
+    "orient_tree",
+    "orient_torus",
+    "orient_torus_nd",
+    "DIRECTION_NAMES_4",
+    "direction_name",
+]
+
+#: Human-readable direction names in the 4-regular (k=2) case.
+DIRECTION_NAMES_4 = {(0, 1): "R", (0, -1): "L", (1, 1): "U", (1, -1): "D"}
+
+
+def direction_name(dim: int, sign: int, k: int = 2) -> str:
+    """Readable name for a direction; U/D/L/R when ``k == 2``."""
+    if k == 2 and (dim, sign) in DIRECTION_NAMES_4:
+        return DIRECTION_NAMES_4[(dim, sign)]
+    return f"{'+' if sign > 0 else '-'}{dim}"
+
+
+class Orientation:
+    """A consistent k-dimensional orientation of (a subgraph of) ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying graph.
+    k:
+        Number of dimensions; oriented nodes can have degree at most ``2k``.
+    labels:
+        Mapping from canonical edge keys to ``(dim, low)`` pairs, where
+        ``0 <= dim < k`` and ``low`` is an endpoint of the edge.
+    """
+
+    __slots__ = ("graph", "k", "_labels", "_slots")
+
+    def __init__(self, graph: Graph, k: int, labels: Dict[Edge, Tuple[int, int]]):
+        if k < 1:
+            raise ValueError("need at least one dimension")
+        self.graph = graph
+        self.k = k
+        self._labels = dict(labels)
+        # Per-node lookup: (dim, sign) -> neighbor.
+        self._slots: List[Dict[Tuple[int, int], int]] = [dict() for _ in range(graph.n)]
+        for (a, b), (dim, low) in self._labels.items():
+            if not graph.has_edge(a, b):
+                raise ValueError(f"labeled edge ({a}, {b}) not in graph")
+            if low not in (a, b):
+                raise ValueError(f"low endpoint {low} not on edge ({a}, {b})")
+            if not 0 <= dim < k:
+                raise ValueError(f"dimension {dim} out of range for k={k}")
+            high = b if low == a else a
+            for node, sign, other in ((low, 1, high), (high, -1, low)):
+                slot = (dim, sign)
+                if slot in self._slots[node]:
+                    raise ValueError(
+                        f"node {node} has two edges in direction {direction_name(dim, sign, k)}"
+                    )
+                self._slots[node][slot] = other
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def dim_of(self, u: int, v: int) -> int:
+        """Dimension of the edge ``{u, v}``."""
+        return self._labels[edge_key(u, v)][0]
+
+    def sign_at(self, v: int, u: int) -> int:
+        """+1 if the edge ``{v, u}`` leaves ``v`` in the positive direction."""
+        dim, low = self._labels[edge_key(u, v)]
+        return 1 if low == v else -1
+
+    def direction_at(self, v: int, u: int) -> Tuple[int, int]:
+        """``(dim, sign)`` of the edge ``{v, u}`` as seen from ``v``."""
+        return (self.dim_of(u, v), self.sign_at(v, u))
+
+    def neighbor(self, v: int, dim: int, sign: int) -> Optional[int]:
+        """The neighbor of ``v`` in direction ``(dim, sign)``, or ``None``."""
+        return self._slots[v].get((dim, sign))
+
+    def labeled_neighbors(self, v: int) -> Dict[Tuple[int, int], int]:
+        """All of ``v``'s neighbors keyed by ``(dim, sign)``."""
+        return dict(self._slots[v])
+
+    def is_labeled(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` carries an orientation label."""
+        return edge_key(u, v) in self._labels
+
+    def edges_of_dimension(self, dim: int) -> List[Edge]:
+        """All labeled edges of a given dimension, sorted."""
+        return sorted(e for e, (d, _) in self._labels.items() if d == dim)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, require_full: bool = True) -> None:
+        """Check structural consistency.
+
+        Parameters
+        ----------
+        require_full:
+            If true, every node of degree exactly ``2k`` must have all
+            ``2k`` directional slots filled, and every edge must be
+            labeled.  Slot-uniqueness is enforced at construction already.
+
+        Raises
+        ------
+        ValueError
+            On the first violation found.
+        """
+        if not require_full:
+            return
+        for e in self.graph.edges():
+            if e not in self._labels:
+                raise ValueError(f"edge {e} is unlabeled")
+        for v in self.graph.nodes():
+            if self.graph.degree(v) == 2 * self.k and len(self._slots[v]) != 2 * self.k:
+                raise ValueError(
+                    f"full-degree node {v} has only {len(self._slots[v])} directions"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Orientation(k={self.k}, labeled={len(self._labels)}/{self.graph.m})"
+
+
+def orient_tree(graph: Graph, k: int, root: int = 0) -> Orientation:
+    """Consistently orient a tree of maximum degree at most ``2k``.
+
+    BFS from ``root``; each node hands its children the directional slots
+    it has not used yet (the edge to its parent occupies one slot).  Any
+    tree with maximum degree <= 2k admits such an orientation.
+    """
+    if not graph.is_tree():
+        raise ValueError("orient_tree requires a tree")
+    if graph.max_degree() > 2 * k:
+        raise ValueError(f"maximum degree {graph.max_degree()} exceeds 2k = {2 * k}")
+    labels: Dict[Edge, Tuple[int, int]] = {}
+    all_slots = [(dim, sign) for dim in range(k) for sign in (1, -1)]
+    used: Dict[int, set] = {root: set()}
+    parent: Dict[int, int] = {root: -1}
+    frontier = deque([root])
+    while frontier:
+        v = frontier.popleft()
+        free = [s for s in all_slots if s not in used[v]]
+        children = [u for u in graph.neighbors(v) if u != parent[v]]
+        for u, (dim, sign) in zip(children, free):
+            # Edge leaves v with the given sign: v is the low endpoint iff +1.
+            labels[edge_key(u, v)] = (dim, v if sign == 1 else u)
+            used[u] = {(dim, -sign)}
+            parent[u] = v
+            frontier.append(u)
+    return Orientation(graph, k, labels)
+
+
+def orient_torus_nd(graph: Graph, dims: "tuple[int, ...]") -> Orientation:
+    """The natural orientation of :func:`~repro.graphs.generators.toroidal_grid_nd`.
+
+    Dimension ``axis`` points from each node to its +1 neighbor along
+    that axis (row-major coordinates).
+    """
+    import itertools as _it
+
+    n = 1
+    for d in dims:
+        n *= d
+    if graph.n != n:
+        raise ValueError("graph size does not match the dimension product")
+    strides = []
+    acc = 1
+    for d in reversed(dims):
+        strides.append(acc)
+        acc *= d
+    strides.reverse()
+
+    def index(coords):
+        return sum(c * s for c, s in zip(coords, strides))
+
+    labels: Dict[Edge, Tuple[int, int]] = {}
+    for coords in _it.product(*(range(d) for d in dims)):
+        v = index(coords)
+        for axis in range(len(dims)):
+            forward = list(coords)
+            forward[axis] = (forward[axis] + 1) % dims[axis]
+            labels[edge_key(v, index(tuple(forward)))] = (axis, v)
+    return Orientation(graph, len(dims), labels)
+
+
+def orient_torus(graph: Graph, rows: int, cols: int) -> Orientation:
+    """The natural orientation of :func:`~repro.graphs.generators.toroidal_grid`.
+
+    Dimension 0 runs along columns (R = next column), dimension 1 along
+    rows (U = next row).
+    """
+    if graph.n != rows * cols:
+        raise ValueError("graph size does not match rows * cols")
+    labels: Dict[Edge, Tuple[int, int]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            up = ((r + 1) % rows) * cols + c
+            labels[edge_key(v, right)] = (0, v)
+            labels[edge_key(v, up)] = (1, v)
+    return Orientation(graph, 2, labels)

@@ -1,0 +1,50 @@
+"""Graph transforms: line graphs and powers.
+
+* :func:`line_graph` — nodes are the edges of G, adjacent iff they
+  share an endpoint.  Edge-labeled LCLs on G become node-labeled LCLs
+  on L(G): the bridge the paper's edge-based model (Section 5) walks
+  across, and the standard route to edge colorings.
+* :func:`graph_power` — ``G^k``: same nodes, edges between all pairs at
+  distance at most k.  Distance-k constraints on G become radius-1
+  constraints on ``G^k`` (how distance-k weak colorings relate to plain
+  ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import Edge, Graph, edge_key
+
+__all__ = ["line_graph", "graph_power"]
+
+
+def line_graph(graph: Graph) -> Tuple[Graph, List[Edge]]:
+    """The line graph L(G) plus the index -> original-edge mapping.
+
+    L-node ``i`` corresponds to ``edges[i]`` (canonical keys in sorted
+    order); two L-nodes are adjacent iff their edges share an endpoint.
+    The maximum degree of L(G) is at most ``2 * (Delta - 1)``.
+    """
+    edges = list(graph.edges())
+    index: Dict[Edge, int] = {e: i for i, e in enumerate(edges)}
+    lg = Graph(len(edges))
+    for v in graph.nodes():
+        incident = [index[edge_key(v, u)] for u in graph.neighbors(v)]
+        for a in range(len(incident)):
+            for b in range(a + 1, len(incident)):
+                if not lg.has_edge(incident[a], incident[b]):
+                    lg.add_edge(incident[a], incident[b])
+    return lg.freeze(), edges
+
+
+def graph_power(graph: Graph, k: int) -> Graph:
+    """``G^k``: edges between every pair at hop distance in ``1..k``."""
+    if k < 1:
+        raise ValueError("power must be at least 1")
+    out = Graph(graph.n)
+    for v in graph.nodes():
+        for u in graph.bfs_distances(v, cutoff=k):
+            if u > v:
+                out.add_edge(v, u)
+    return out.freeze()

@@ -1,0 +1,126 @@
+"""Homogeneous LCLs: ``P_H = P ∪ P*`` (Section 3.2).
+
+A homogeneous labeling gives every node *either* a label for the inner
+problem P *or* a P* label (a pointer toward an irregularity).  The
+verifier accepts at ``v`` iff
+
+* ``v`` has a nonempty P* label and is P*-happy, or
+* ``v`` has an empty P* label and P's verifier accepts at ``v``.
+
+P's verifier runs against the *partial* P labeling in which P*-labeled
+nodes count as unlabeled — so a node cannot discharge its P constraint
+through neighbors that opted out into P*.  This is what makes pointer
+chains unable to terminate anywhere except at genuine irregularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..graphs.graph import Graph
+from ..graphs.orientation import Orientation
+from .pointer import PStar, PStarLabel
+from .problem import NodeLCL, NodeLabeling, Violation
+
+__all__ = ["HomogeneousLabel", "HomogeneousLCL", "AlwaysAccept"]
+
+
+@dataclass(frozen=True)
+class HomogeneousLabel:
+    """A P_H output: exactly one of the two parts must be set."""
+
+    p_label: Any = None
+    pstar_label: Optional[PStarLabel] = None
+
+    def __post_init__(self) -> None:
+        if (self.p_label is None) == (self.pstar_label is None):
+            raise ValueError(
+                "exactly one of p_label / pstar_label must be set, got "
+                f"p_label={self.p_label!r}, pstar_label={self.pstar_label!r}"
+            )
+
+    @classmethod
+    def solve_p(cls, label: Any) -> "HomogeneousLabel":
+        """A node answering the inner problem P."""
+        return cls(p_label=label)
+
+    @classmethod
+    def solve_pstar(cls, label: PStarLabel) -> "HomogeneousLabel":
+        """A node falling back to the pointer problem."""
+        return cls(pstar_label=label)
+
+
+class AlwaysAccept(NodeLCL):
+    """The trivially-satisfiable inner problem (any label, even a constant).
+
+    Wrapping it into a homogeneous LCL gives a class-(1) problem of
+    Theorem 5: a constant label is valid inside Delta-regular trees, so
+    ``P_H`` is solvable in O(1) rounds.
+    """
+
+    name = "always-accept"
+    radius = 0
+
+    def check_node(
+        self,
+        graph: Graph,
+        labeling: NodeLabeling,
+        v: int,
+        orientation: Optional[Orientation] = None,
+    ) -> Optional[Violation]:
+        if labeling[v] is None:
+            return Violation(v, "node is unlabeled")
+        return None
+
+
+class HomogeneousLCL(NodeLCL):
+    """The Delta-homogeneous LCL ``P_H = P ∪ P*`` for an inner node LCL P."""
+
+    def __init__(self, inner: NodeLCL, delta: int):
+        if delta < 3:
+            raise ValueError("homogeneous LCLs assume Delta >= 3")
+        self.inner = inner
+        self.delta = delta
+        self.pstar = PStar(delta, require_all=False)
+        self.radius = max(inner.radius, 1)
+        self.name = f"homogeneous[{inner.name}] (Delta={delta})"
+
+    # ------------------------------------------------------------------
+    def _split(
+        self, labeling: NodeLabeling
+    ) -> "tuple[List[Any], List[Optional[PStarLabel]]]":
+        """Project a homogeneous labeling into its P and P* components."""
+        p_part: List[Any] = []
+        star_part: List[Optional[PStarLabel]] = []
+        for label in labeling:
+            if label is None:
+                p_part.append(None)
+                star_part.append(None)
+            elif isinstance(label, HomogeneousLabel):
+                p_part.append(label.p_label)
+                star_part.append(label.pstar_label)
+            else:
+                raise TypeError(f"expected HomogeneousLabel or None, got {label!r}")
+        return p_part, star_part
+
+    def check_node(
+        self,
+        graph: Graph,
+        labeling: NodeLabeling,
+        v: int,
+        orientation: Optional[Orientation] = None,
+    ) -> Optional[Violation]:
+        label = labeling[v]
+        if label is None:
+            return Violation(v, "node has neither a P nor a P* label")
+        p_part, star_part = self._split(labeling)
+        if star_part[v] is not None:
+            bad = self.pstar.check_node(graph, star_part, v, orientation)
+            if bad is not None:
+                return Violation(v, f"P* branch: {bad.reason}")
+            return None
+        bad = self.inner.check_node(graph, p_part, v, orientation)
+        if bad is not None:
+            return Violation(v, f"P branch: {bad.reason}")
+        return None

@@ -1,0 +1,37 @@
+"""The LOCAL model: synchronous message passing, views, and edge model."""
+
+from .algorithm import LocalAlgorithm, ViewAlgorithm
+from .context import NodeContext, UNSET
+from .network import ExecutionResult, run_local, run_view_algorithm
+from .views import View, gather_view, gather_edge_view
+from .edge_model import (
+    EdgeViewAlgorithm,
+    EdgeExecutionResult,
+    run_edge_view_algorithm,
+)
+from .order_invariant import (
+    order_projected_view,
+    OrderInvariantProjection,
+    is_order_invariant,
+    order_homogeneous_failure,
+)
+
+__all__ = [
+    "LocalAlgorithm",
+    "ViewAlgorithm",
+    "NodeContext",
+    "UNSET",
+    "ExecutionResult",
+    "run_local",
+    "run_view_algorithm",
+    "View",
+    "gather_view",
+    "gather_edge_view",
+    "EdgeViewAlgorithm",
+    "EdgeExecutionResult",
+    "run_edge_view_algorithm",
+    "order_projected_view",
+    "OrderInvariantProjection",
+    "is_order_invariant",
+    "order_homogeneous_failure",
+]

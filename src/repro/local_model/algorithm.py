@@ -1,0 +1,67 @@
+"""Algorithm interfaces for the LOCAL simulator.
+
+Two styles are supported, mirroring how the paper treats algorithms:
+
+* :class:`LocalAlgorithm` — genuine synchronous message passing.  In each
+  round every active node produces one message per port (:meth:`send`),
+  the simulator delivers them, and the node digests what arrived
+  (:meth:`receive`).  This is the operational LOCAL model of Section 2.1.
+
+* :class:`ViewAlgorithm` — "a T-round algorithm is a mapping from
+  radius-T neighborhoods to outputs" (Section 2.1's closing remark).
+  The simulator materializes each node's radius-T view and applies the
+  mapping.  Both styles are interchangeable; the runner reports the same
+  round counts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+from .context import NodeContext
+
+__all__ = ["LocalAlgorithm", "ViewAlgorithm"]
+
+
+class LocalAlgorithm(abc.ABC):
+    """A message-passing LOCAL algorithm.
+
+    One instance is shared across nodes (it must be stateless); per-node
+    state lives in ``ctx.state``.  A node halts by calling ``ctx.halt``.
+    A node that halts during :meth:`init` has running time 0.
+    """
+
+    #: Human-readable name used in experiment reports.
+    name: str = "local-algorithm"
+
+    def init(self, ctx: NodeContext) -> None:
+        """Round-0 setup: runs before any communication."""
+
+    @abc.abstractmethod
+    def send(self, ctx: NodeContext) -> Dict[int, Any]:
+        """Produce this round's outgoing messages, keyed by port.
+
+        Ports without an entry send nothing.  Called only on active nodes.
+        """
+
+    @abc.abstractmethod
+    def receive(self, ctx: NodeContext, messages: Dict[int, Any]) -> None:
+        """Digest this round's incoming messages, keyed by port.
+
+        Ports whose neighbor sent nothing (or has halted) are absent from
+        ``messages``.  The node may call ``ctx.halt`` here.
+        """
+
+
+class ViewAlgorithm(abc.ABC):
+    """A T-round algorithm given as a function of radius-T views."""
+
+    name: str = "view-algorithm"
+
+    #: Radius of the views this algorithm consumes.
+    radius: int = 0
+
+    @abc.abstractmethod
+    def output(self, view: "View") -> Any:  # noqa: F821 - forward ref to views.View
+        """Map the center node's radius-T view to its output."""

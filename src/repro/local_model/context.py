@@ -1,0 +1,154 @@
+"""Per-node execution context for the message-passing LOCAL simulator.
+
+A node's algorithm sees the world *only* through its
+:class:`NodeContext`: its own degree, the global parameters ``n`` and
+``Delta`` (which the LOCAL model makes common knowledge), its identifier
+(if the run is not anonymous), its input label (if the LCL has inputs),
+per-port orientation labels (if the run is on an oriented graph), a
+private source of randomness, and whatever it stores in ``state``.
+
+The simulator owns construction of contexts; algorithms must never touch
+the underlying graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["NodeContext", "UNSET"]
+
+
+class _Unset:
+    """Sentinel for "no output produced yet"."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+#: Sentinel marking a node that has not yet produced an output.
+UNSET = _Unset()
+
+
+class NodeContext:
+    """Everything a node knows during a LOCAL execution.
+
+    Attributes
+    ----------
+    degree:
+        The node's own degree (known before round 1).
+    n:
+        Number of nodes in the network (global knowledge in LOCAL).
+    delta:
+        Maximum degree bound (global knowledge in LOCAL).
+    identifier:
+        The node's unique identifier, or ``None`` in anonymous runs.
+    input_label:
+        The node's LCL input label (``None`` when the LCL has no inputs).
+    port_directions:
+        If the run is oriented: mapping ``port -> (dim, sign)``.
+    rng:
+        Private randomness.  Deterministic algorithms must not use it;
+        the simulator can enforce this (see ``forbid_randomness``).
+    state:
+        Scratch space persisted across rounds.
+    round_number:
+        The current round (0 during ``init``).
+    """
+
+    __slots__ = (
+        "degree",
+        "n",
+        "delta",
+        "identifier",
+        "input_label",
+        "port_directions",
+        "rng",
+        "state",
+        "round_number",
+        "_output",
+        "_halted",
+        "_randomness_forbidden",
+    )
+
+    def __init__(
+        self,
+        degree: int,
+        n: int,
+        delta: int,
+        identifier: Optional[int],
+        input_label: Any,
+        port_directions: Optional[Dict[int, Tuple[int, int]]],
+        rng: random.Random,
+        forbid_randomness: bool = False,
+    ):
+        self.degree = degree
+        self.n = n
+        self.delta = delta
+        self.identifier = identifier
+        self.input_label = input_label
+        self.port_directions = port_directions
+        self.state: Dict[str, Any] = {}
+        self.round_number = 0
+        self._output: Any = UNSET
+        self._halted = False
+        self._randomness_forbidden = forbid_randomness
+        if forbid_randomness:
+            self.rng = _ForbiddenRandom()
+        else:
+            self.rng = rng
+
+    # ------------------------------------------------------------------
+    def halt(self, output: Any) -> None:
+        """Stop participating and commit ``output`` as this node's answer."""
+        if self._halted:
+            raise RuntimeError("node has already halted")
+        self._output = output
+        self._halted = True
+
+    def set_output(self, output: Any) -> None:
+        """Commit an output without halting (the node keeps participating).
+
+        Useful for algorithms that refine a tentative answer; the final
+        committed value is what the verifier sees.
+        """
+        self._output = output
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has halted."""
+        return self._halted
+
+    @property
+    def output(self) -> Any:
+        """The committed output (``UNSET`` if none yet)."""
+        return self._output
+
+    def port_in_direction(self, dim: int, sign: int) -> Optional[int]:
+        """The port pointing in direction ``(dim, sign)``, if oriented."""
+        if self.port_directions is None:
+            return None
+        for port, ds in self.port_directions.items():
+            if ds == (dim, sign):
+                return port
+        return None
+
+
+class _ForbiddenRandom(random.Random):
+    """A random source that raises on use — enforces determinism."""
+
+    def random(self) -> float:  # pragma: no cover - message is the point
+        raise RuntimeError("deterministic run: algorithm attempted to use randomness")
+
+    def getrandbits(self, k: int) -> int:
+        raise RuntimeError("deterministic run: algorithm attempted to use randomness")
+
+    def seed(self, *args: Any, **kwargs: Any) -> None:
+        pass

@@ -1,0 +1,206 @@
+"""The synchronous LOCAL execution engine.
+
+:func:`run_local` executes a :class:`~repro.local_model.algorithm.LocalAlgorithm`
+(message passing) or a :class:`~repro.local_model.algorithm.ViewAlgorithm`
+(mapping from radius-T views) on a port-numbered graph and reports every
+node's output together with the exact round each node halted in.
+
+Faithfulness guarantees:
+
+* nodes exchange messages only along edges, one message per port per
+  round, delivered synchronously;
+* a node that has halted is silent from the next round on;
+* per-node randomness is private and derived from independent streams;
+* deterministic runs poison the RNG so accidental randomness raises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..graphs.graph import Graph
+from ..graphs.orientation import Orientation
+from .algorithm import LocalAlgorithm, ViewAlgorithm
+from .context import NodeContext, UNSET
+from .views import gather_view
+
+__all__ = ["ExecutionResult", "run_local", "run_view_algorithm"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a LOCAL execution.
+
+    Attributes
+    ----------
+    outputs:
+        ``outputs[v]`` is node ``v``'s committed output (``UNSET`` if the
+        node never produced one).
+    halt_rounds:
+        ``halt_rounds[v]`` is the round in which node ``v`` halted
+        (0 means it halted before any communication); ``None`` if the
+        node was still running when the engine stopped.
+    rounds:
+        Total rounds executed — the algorithm's running time, i.e. the
+        maximum halting round.
+    """
+
+    outputs: List[Any]
+    halt_rounds: List[Optional[int]]
+    rounds: int
+
+    def labeling(self) -> Dict[int, Any]:
+        """Outputs as a ``{node: label}`` dict (UNSET entries included)."""
+        return dict(enumerate(self.outputs))
+
+    def all_halted(self) -> bool:
+        """Whether every node halted before the engine gave up."""
+        return all(r is not None for r in self.halt_rounds)
+
+
+def run_local(
+    graph: Graph,
+    algorithm: LocalAlgorithm,
+    ids: Optional[Sequence[int]] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    orientation: Optional[Orientation] = None,
+    rng: Optional[random.Random] = None,
+    deterministic: bool = False,
+    max_rounds: Optional[int] = None,
+) -> ExecutionResult:
+    """Run a message-passing algorithm to completion.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    algorithm:
+        A stateless :class:`LocalAlgorithm`; per-node state lives in the
+        node contexts.
+    ids:
+        Unique identifiers per node, or ``None`` for an anonymous run.
+    inputs:
+        Per-node LCL input labels, or ``None``.
+    orientation:
+        Consistent orientation; if given, every context exposes
+        ``port_directions``.
+    rng:
+        Seed source for the per-node private random streams.
+    deterministic:
+        If true, node RNGs raise when touched.
+    max_rounds:
+        Safety valve; defaults to ``4 * n + 16`` (any LOCAL problem is
+        solvable in ``O(n)`` rounds, so a correct algorithm that exceeds
+        this on a connected graph is looping).
+
+    Raises
+    ------
+    RuntimeError
+        If ``max_rounds`` elapses with nodes still running.
+    """
+    n = graph.n
+    if ids is not None and len(ids) != n:
+        raise ValueError("ids must have one entry per node")
+    if inputs is not None and len(inputs) != n:
+        raise ValueError("inputs must have one entry per node")
+    if max_rounds is None:
+        max_rounds = 4 * n + 16
+    master = rng or random.Random(0)
+    delta = graph.max_degree()
+
+    contexts: List[NodeContext] = []
+    for v in graph.nodes():
+        port_dirs = None
+        if orientation is not None:
+            port_dirs = {}
+            for port, u in enumerate(graph.neighbors(v)):
+                if orientation.is_labeled(v, u):
+                    port_dirs[port] = orientation.direction_at(v, u)
+        contexts.append(
+            NodeContext(
+                degree=graph.degree(v),
+                n=n,
+                delta=delta,
+                identifier=None if ids is None else ids[v],
+                input_label=None if inputs is None else inputs[v],
+                port_directions=port_dirs,
+                rng=random.Random(master.getrandbits(64)),
+                forbid_randomness=deterministic,
+            )
+        )
+
+    halt_rounds: List[Optional[int]] = [None] * n
+    for v in graph.nodes():
+        algorithm.init(contexts[v])
+        if contexts[v].halted:
+            halt_rounds[v] = 0
+
+    rounds = 0
+    active = [v for v in graph.nodes() if not contexts[v].halted]
+    while active:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"{algorithm.name}: {len(active)} nodes still running after "
+                f"{max_rounds} rounds — runaway algorithm?"
+            )
+        for v in active:
+            contexts[v].round_number = rounds
+        outboxes: Dict[int, Dict[int, Any]] = {}
+        for v in active:
+            msgs = algorithm.send(contexts[v])
+            if msgs:
+                outboxes[v] = msgs
+        inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in active}
+        for v, msgs in outboxes.items():
+            for port, payload in msgs.items():
+                u = graph.endpoint(v, port)
+                if not contexts[u].halted:
+                    inboxes[u][graph.port_to(u, v)] = payload
+        next_active = []
+        for v in active:
+            algorithm.receive(contexts[v], inboxes[v])
+            if contexts[v].halted:
+                halt_rounds[v] = rounds
+            else:
+                next_active.append(v)
+        active = next_active
+
+    return ExecutionResult(
+        outputs=[contexts[v].output for v in graph.nodes()],
+        halt_rounds=halt_rounds,
+        rounds=max((r for r in halt_rounds if r is not None), default=0),
+    )
+
+
+def run_view_algorithm(
+    graph: Graph,
+    algorithm: ViewAlgorithm,
+    ids: Optional[Sequence[int]] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    randomness: Optional[Sequence[Any]] = None,
+    orientation: Optional[Orientation] = None,
+) -> ExecutionResult:
+    """Run a view-style T-round algorithm (Section 2.1's functional form).
+
+    Every node's output is ``algorithm.output(B_T(v))``; the running time
+    is ``T = algorithm.radius`` by definition.
+    """
+    outputs = []
+    for v in graph.nodes():
+        view = gather_view(
+            graph,
+            v,
+            algorithm.radius,
+            ids=ids,
+            inputs=inputs,
+            randomness=randomness,
+            orientation=orientation,
+        )
+        outputs.append(algorithm.output(view))
+    t = algorithm.radius
+    return ExecutionResult(
+        outputs=outputs, halt_rounds=[t] * graph.n, rounds=t
+    )

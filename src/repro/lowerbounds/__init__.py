@@ -1,0 +1,34 @@
+"""Classical lower-bound machinery: Linial's neighborhood graphs and
+the weak-coloring window formalism."""
+
+from .weak_cycle import (
+    weak_constraints,
+    weak_table_exists,
+    WeakCycleAlgorithm,
+    zero_round_weak2_threshold,
+)
+from .linial import (
+    neighborhood_graph,
+    window_of,
+    CycleAlgorithm,
+    algorithm_from_coloring,
+    chromatic_number,
+    is_c_colorable,
+    linial_chromatic_lower_bound,
+    min_rounds_for_3_coloring,
+)
+
+__all__ = [
+    "neighborhood_graph",
+    "window_of",
+    "CycleAlgorithm",
+    "algorithm_from_coloring",
+    "chromatic_number",
+    "is_c_colorable",
+    "linial_chromatic_lower_bound",
+    "min_rounds_for_3_coloring",
+    "weak_constraints",
+    "weak_table_exists",
+    "WeakCycleAlgorithm",
+    "zero_round_weak2_threshold",
+]

@@ -1,0 +1,149 @@
+"""Weak 2-coloring on cycles, in the window formalism — exact thresholds.
+
+The neighborhood-graph method of :mod:`repro.lowerbounds.linial` adapts
+to *weak* coloring: a t-round weak c-coloring algorithm for directed
+cycles with identifier space ``{1..m}`` is a table ``f: windows ->
+colors`` such that for every realizable run of ``2t + 3`` distinct
+identifiers, the center window's color differs from at least one of its
+two neighbor windows' colors (a ternary constraint, where proper
+coloring had a binary one — hypergraph instead of graph coloring).
+
+Exact consequences, machine-checked here:
+
+* **Zero rounds**: a weak 2-coloring table on singleton windows exists
+  iff no three distinct identifiers share a color — i.e. iff
+  ``m <= 4`` (split 2 + 2).  Contrast χ(N_0(m)) = m for proper
+  coloring: weak coloring is *strictly easier*, exactly the theme the
+  paper builds on.
+* **One round**: tables exist comfortably at every m the search
+  reaches — again easier than proper 3-coloring, which dies at m = 7.
+
+Searches are exact backtracking with unit-style propagation over the
+ternary constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .linial import Window, window_of, _windows
+
+__all__ = [
+    "weak_constraints",
+    "weak_table_exists",
+    "WeakCycleAlgorithm",
+    "zero_round_weak2_threshold",
+]
+
+
+def weak_constraints(m: int, t: int) -> Tuple[List[Window], List[Tuple[int, int, int]]]:
+    """Windows and ternary weak-coloring constraints for ``(m, t)``.
+
+    Each constraint ``(prev, center, next)`` (window indices) forbids
+    ``f(prev) == f(center) == f(next)``; one constraint per run of
+    ``2t + 3`` distinct identifiers.
+    """
+    windows = _windows(m, t)
+    index: Dict[Window, int] = {w: i for i, w in enumerate(windows)}
+    length = 2 * t + 3
+    if length > m:
+        raise ValueError(
+            f"constraints need runs of {length} distinct identifiers; m >= {length}"
+        )
+    constraints = []
+    for run in itertools.permutations(range(1, m + 1), length):
+        prev_w = run[0 : 2 * t + 1]
+        center_w = run[1 : 2 * t + 2]
+        next_w = run[2 : 2 * t + 3]
+        constraints.append((index[prev_w], index[center_w], index[next_w]))
+    return windows, constraints
+
+
+def weak_table_exists(
+    m: int, t: int, colors: int = 2
+) -> Optional[List[int]]:
+    """An exact weak-c-coloring window table, or ``None`` — by search.
+
+    Backtracking over window colors; a constraint whose first two
+    members are already equal forces the third to differ (propagated by
+    checking completed constraints only — instances here are small).
+    """
+    windows, constraints = weak_constraints(m, t)
+    n = len(windows)
+    # Constraints touching each window, for incremental checking.
+    touching: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+    for c in constraints:
+        for w in set(c):
+            touching[w].append(c)
+
+    # Window-enumeration order works well here (windows sharing prefixes
+    # sit together, so constraints complete early); instances beyond
+    # m = 6 at t = 1 grow expensive — keep exhibits within that range.
+    assignment: List[Optional[int]] = [None] * n
+
+    def violated(constraint: Tuple[int, int, int]) -> bool:
+        a, b, c = constraint
+        return (
+            assignment[a] is not None
+            and assignment[a] == assignment[b] == assignment[c]
+        )
+
+    def backtrack(idx: int) -> bool:
+        if idx == n:
+            return True
+        for color in range(colors):
+            assignment[idx] = color
+            if not any(
+                violated(c)
+                for c in touching[idx]
+                if all(assignment[w] is not None for w in c)
+            ):
+                if backtrack(idx + 1):
+                    return True
+        assignment[idx] = None
+        return False
+
+    if backtrack(0):
+        return [int(x) for x in assignment]
+    return None
+
+
+@dataclass
+class WeakCycleAlgorithm:
+    """A t-round weak-coloring cycle algorithm from a window table."""
+
+    t: int
+    m: int
+    table: Dict[Window, int]
+
+    def run(self, ids: Sequence[int]) -> List[int]:
+        """Weakly color a directed cycle given its identifier sequence."""
+        n = len(ids)
+        if len(set(ids)) != n:
+            raise ValueError("identifiers must be distinct")
+        return [self.table[window_of(ids, v, self.t)] for v in range(n)]
+
+    @classmethod
+    def from_search(cls, m: int, t: int, colors: int = 2) -> "WeakCycleAlgorithm":
+        """Search for a table and package it; raises if none exists."""
+        table = weak_table_exists(m, t, colors)
+        if table is None:
+            raise ValueError(f"no {colors}-color weak table exists for m={m}, t={t}")
+        windows, _ = weak_constraints(m, t)
+        return cls(t=t, m=m, table={w: table[i] for i, w in enumerate(windows)})
+
+
+def zero_round_weak2_threshold(max_m: int = 8) -> int:
+    """The largest m with a 0-round weak 2-coloring table (exactly 4).
+
+    For m <= 4 the identifiers split 2 + 2 and no three distinct ones
+    share a color; from m = 5 the pigeonhole forces a monochromatic
+    triple, which some cycle realizes consecutively.
+    """
+    best = 0
+    for m in range(3, max_m + 1):
+        if weak_table_exists(m, 0) is not None:
+            best = m
+    return best

@@ -1,0 +1,69 @@
+"""The speedup simulation engine (Sections 5-7), executable."""
+
+from .ball import (
+    Direction,
+    Word,
+    inverse,
+    all_directions,
+    reduce_word,
+    OrientedBall,
+    EdgeBall,
+)
+from .algorithms import (
+    NodeAlgorithm,
+    EdgeAlgorithm,
+    zero_round_uniform,
+    local_maximum_coloring,
+    smaller_count_coloring,
+    two_round_local_maximum,
+    parity_coloring,
+)
+from .failure import FailureEstimate, node_local_failure, edge_local_failure
+from .transform import (
+    first_speedup,
+    second_speedup,
+    paper_threshold_first,
+    paper_threshold_second,
+    first_lemma_bound,
+    second_lemma_bound,
+)
+from .pipeline import PipelineStage, SpeedupPipelineResult, run_speedup_pipeline
+from .finite_runner import (
+    FiniteRunResult,
+    resolve_ball_tables,
+    run_node_algorithm_on_oriented_graph,
+    estimate_global_success,
+)
+
+__all__ = [
+    "Direction",
+    "Word",
+    "inverse",
+    "all_directions",
+    "reduce_word",
+    "OrientedBall",
+    "EdgeBall",
+    "NodeAlgorithm",
+    "EdgeAlgorithm",
+    "zero_round_uniform",
+    "local_maximum_coloring",
+    "smaller_count_coloring",
+    "two_round_local_maximum",
+    "parity_coloring",
+    "FailureEstimate",
+    "node_local_failure",
+    "edge_local_failure",
+    "first_speedup",
+    "second_speedup",
+    "paper_threshold_first",
+    "paper_threshold_second",
+    "first_lemma_bound",
+    "second_lemma_bound",
+    "PipelineStage",
+    "SpeedupPipelineResult",
+    "run_speedup_pipeline",
+    "FiniteRunResult",
+    "resolve_ball_tables",
+    "run_node_algorithm_on_oriented_graph",
+    "estimate_global_success",
+]

@@ -1,0 +1,253 @@
+"""The speedup transformations (Lemmas 7, 8, 14, 15) — executable.
+
+First speedup (Lemma 7 / Lemma 14): from a t-round weak c-coloring node
+algorithm ``A`` build the edge algorithm ``A'`` on views
+``B_{t-1}(u) ∪ B_{t-1}(v)``: each endpoint's *frequent color set* —
+colors ``A`` outputs with probability at least ``f`` over the bits the
+edge cannot see — written as the pair (low endpoint's set, high
+endpoint's set).  Nominal palette ``2**(2c)``.
+
+Second speedup (Lemma 8 / Lemma 15): from an edge algorithm with views
+``B_{t-1}(u) ∪ B_{t-1}(v)`` build the (t-1)-round node algorithm whose
+output is the 2k-tuple of frequent *edge* color sets of the node's
+incident edges given ``B_{t-1}(v)``.  Nominal palette ``2**(2k*c)``.
+
+Composing the two drops the round count by one while the palette climbs
+a tower — exactly the engine of the Omega(log* n) bound.  The threshold
+``f`` is exposed; :func:`paper_threshold_first` /
+:func:`paper_threshold_second` give the paper's optimizing choices.
+
+All frequency computations enumerate the hidden regions exhaustively,
+so the resulting algorithms are *exact* objects: their measured failure
+probabilities can be compared against the lemma bounds with no sampling
+error (see :mod:`repro.speedup.failure`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import Any, Dict, FrozenSet, List, Tuple, Union
+
+from ..analysis.towers import TowerNumber, exp2_scaled
+from .algorithms import Assignment, EdgeAlgorithm, NodeAlgorithm
+from .ball import EdgeBall, OrientedBall, inverse, reduce_word
+
+__all__ = [
+    "first_speedup",
+    "second_speedup",
+    "paper_threshold_first",
+    "paper_threshold_second",
+    "first_lemma_bound",
+    "second_lemma_bound",
+]
+
+
+def _log2_palette(c: Union[int, float, TowerNumber]) -> float:
+    """``log2`` of a (possibly tower-sized) palette, as a float or inf."""
+    if isinstance(c, TowerNumber):
+        return c.log2().to_float()
+    return math.log2(float(c))
+
+
+def paper_threshold_first(p: Any, c: Union[int, TowerNumber], delta: int) -> Fraction:
+    """Lemma 7/14's optimizing threshold ``f = (p / c) ** (1 / (Delta+1))``.
+
+    Derived from maximizing ``(p' - Delta*c*f) * f**Delta`` at
+    ``f = p' / ((Delta + 1) * c)`` and substituting the resulting bound
+    ``p' = (Delta+1) * p**(1/(Delta+1)) * c**(Delta/(Delta+1))``.
+    Returned as a Fraction approximation (exact arithmetic downstream).
+    Tower-sized palettes push the threshold to 0 (every achievable
+    color counts as frequent) — faithful to the regime where the paper's
+    optimizing f is astronomically small.
+    """
+    if float(p) <= 0.0:
+        return Fraction(0)
+    log2_f = (math.log2(float(p)) - _log2_palette(c)) / (delta + 1)
+    if log2_f < -60:
+        return Fraction(0)
+    return Fraction(2.0**log2_f).limit_denominator(10**9)
+
+
+def paper_threshold_second(p: Any, c: Union[int, TowerNumber], delta: int) -> Fraction:
+    """Lemma 8/15's optimizing threshold.
+
+    For Delta = 4 this is ``f = (p / c) ** (1/4)``; in general
+    ``f = ((Delta-1) / (Delta/2 + 1)) * (p / c) ** (1 / Delta)`` per the
+    Section 7 computation (the two coincide at Delta = 4).
+    """
+    if float(p) <= 0.0:
+        return Fraction(0)
+    scale = (delta - 1) / (delta / 2 + 1)
+    log2_f = (math.log2(float(p)) - _log2_palette(c)) / delta
+    if log2_f < -60:
+        return Fraction(0)
+    return Fraction(min(scale * 2.0**log2_f, 1.0)).limit_denominator(10**9)
+
+
+def first_lemma_bound(p: float, c: Union[int, TowerNumber], delta: int) -> float:
+    """The guarantee of Lemma 14: ``p' <= (Delta+1) p^{1/(Delta+1)} c^{Delta/(Delta+1)}``.
+
+    At Delta = 4 this is Lemma 7's ``5 p^{1/5} c^{4/5}``.  Returns
+    ``inf`` for tower-sized palettes (the bound is vacuous there) and
+    0.0 at p = 0.
+    """
+    if p <= 0.0:
+        return 0.0
+    e = delta + 1
+    log2_bound = (
+        math.log2(e) + math.log2(p) / e + ((e - 1) / e) * _log2_palette(c)
+    )
+    return math.inf if log2_bound > 1000 else 2.0**log2_bound
+
+
+def second_lemma_bound(p: float, c: Union[int, TowerNumber], delta: int) -> float:
+    """The guarantee of Lemma 15: ``p' <= Delta p^{1/Delta} c^{1 - 1/Delta}``.
+
+    At Delta = 4 this is Lemma 8's ``4 p^{1/4} c^{3/4}``.  Returns
+    ``inf`` for tower-sized palettes and 0.0 at p = 0.
+    """
+    if p <= 0.0:
+        return 0.0
+    log2_bound = (
+        math.log2(delta)
+        + math.log2(p) / delta
+        + ((delta - 1) / delta) * _log2_palette(c)
+    )
+    return math.inf if log2_bound > 1000 else 2.0**log2_bound
+
+
+def _frequent_colors(
+    evaluate,
+    total_size: int,
+    known: Dict[int, int],
+    unknown: List[int],
+    values: int,
+    threshold: Fraction,
+) -> FrozenSet[Any]:
+    """Colors whose conditional probability is at least ``threshold``."""
+    counts: Dict[Any, int] = {}
+    scratch = [0] * total_size
+    for pos, val in known.items():
+        scratch[pos] = val
+    for completion in itertools.product(range(values), repeat=len(unknown)):
+        for pos, val in zip(unknown, completion):
+            scratch[pos] = val
+        color = evaluate(tuple(scratch))
+        counts[color] = counts.get(color, 0) + 1
+    total = values ** len(unknown)
+    return frozenset(
+        color for color, n in counts.items() if Fraction(n, total) >= threshold
+    )
+
+
+def first_speedup(alg: NodeAlgorithm, threshold: Fraction) -> EdgeAlgorithm:
+    """Lemma 7/14: node algorithm (radius t) -> edge algorithm (radius t-1).
+
+    The edge output is the pair ``(frequent set at the low endpoint,
+    frequent set at the high endpoint)``; each set collects the colors
+    the node algorithm emits with conditional probability >= threshold
+    given the edge's shared view.
+    """
+    if alg.t < 1:
+        raise ValueError("cannot speed up a 0-round algorithm")
+    k, t, bits = alg.k, alg.t, alg.bits
+    r = t - 1
+    node_ball = alg.ball
+
+    # Precompute, per dimension, the layout of each endpoint's radius-t
+    # ball inside the edge ball: known positions come from the edge view,
+    # unknown positions are enumerated.
+    layouts: Dict[int, List[Tuple[Dict[int, int], List[int]]]] = {}
+    for dim in range(k):
+        eb = EdgeBall(k, r, (dim, 1))
+        per_endpoint = []
+        for anchor in eb.endpoint_words():
+            known_map: Dict[int, int] = {}
+            unknown: List[int] = []
+            for pos, w in enumerate(node_ball.words):
+                absolute = reduce_word(anchor + w)
+                if absolute in eb.index:
+                    known_map[pos] = eb.index[absolute]
+                else:
+                    unknown.append(pos)
+            per_endpoint.append((known_map, unknown))
+        layouts[dim] = per_endpoint
+
+    values = alg.values
+
+    def fn(dim: int, assignment: Assignment) -> Tuple[FrozenSet[Any], FrozenSet[Any]]:
+        sets = []
+        for known_map, unknown in layouts[dim]:
+            known = {pos: assignment[ei] for pos, ei in known_map.items()}
+            sets.append(
+                _frequent_colors(
+                    alg.evaluate, node_ball.size, known, unknown, values, threshold
+                )
+            )
+        return (sets[0], sets[1])
+
+    return EdgeAlgorithm(
+        k=k,
+        r=r,
+        bits=bits,
+        palette=exp2_scaled(alg.palette, 2.0),
+        fn=fn,
+        name=f"L7[{alg.name}]",
+    )
+
+
+def second_speedup(alg: EdgeAlgorithm, threshold: Fraction) -> NodeAlgorithm:
+    """Lemma 8/15: edge algorithm (radius r) -> node algorithm (radius r).
+
+    The node output is the 2k-tuple, in canonical direction order, of
+    the frequent edge-color sets of its incident edges given its own
+    radius-r ball.
+    """
+    k, r, bits = alg.k, alg.r, alg.bits
+    node_ball = OrientedBall(k, r)
+    directions = node_ball.directions
+
+    # Per incident direction: the edge ball's layout relative to the node.
+    layouts: List[Tuple[int, Dict[int, int], List[int]]] = []
+    for direction in directions:
+        dim, sign = direction
+        eb = alg.balls[dim]
+        anchor = () if sign == 1 else (direction,)
+        known_map: Dict[int, int] = {}
+        unknown: List[int] = []
+        for pos, w in enumerate(eb.words):
+            absolute = reduce_word(anchor + w)
+            if absolute in node_ball.index:
+                known_map[pos] = node_ball.index[absolute]
+            else:
+                unknown.append(pos)
+        layouts.append((dim, known_map, unknown))
+
+    values = alg.values
+
+    def fn(assignment: Assignment) -> Tuple[FrozenSet[Any], ...]:
+        out = []
+        for dim, known_map, unknown in layouts:
+            known = {pos: assignment[ni] for pos, ni in known_map.items()}
+            out.append(
+                _frequent_colors(
+                    lambda a, _dim=dim: alg.evaluate(_dim, a),
+                    alg.balls[dim].size,
+                    known,
+                    unknown,
+                    values,
+                    threshold,
+                )
+            )
+        return tuple(out)
+
+    return NodeAlgorithm(
+        k=k,
+        t=r,
+        bits=bits,
+        palette=exp2_scaled(alg.palette, float(2 * k)),
+        fn=fn,
+        name=f"L8[{alg.name}]",
+    )

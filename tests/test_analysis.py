@@ -1,0 +1,243 @@
+"""Tests for tower arithmetic, recurrences, independence, and bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    TowerNumber,
+    claim10_ball_radius,
+    claim10_global_success_bound,
+    claim10_set_size_bound,
+    claim11_failure_floor_log2,
+    claim12_c0_ceiling,
+    claim12_failure_floor_reciprocal,
+    claim12_round_threshold,
+    first_lemma_bound,
+    id_collision_probability_bound,
+    independent_execution_set,
+    iterated_log,
+    lemma9_evaluate,
+    log_star_float,
+    palette_trajectory,
+    second_lemma_bound,
+    theorem6_round_floor,
+    theorem13_crossover_height,
+    tower,
+    zero_round_failure_of_distribution,
+    zero_round_optimal_failure,
+)
+from repro.graphs import balanced_regular_tree, orient_tree
+
+
+class TestTowerNumber:
+    def test_small_towers_exact(self):
+        assert tower(0).to_float() == 1.0
+        assert tower(1).to_float() == 2.0
+        assert tower(2).to_float() == 4.0
+        assert tower(3).to_float() == 16.0
+        assert tower(4).to_float() == 65536.0
+
+    def test_tower_5_exceeds_floats(self):
+        assert not tower(5).is_finite_float()
+        assert tower(5).to_float() == math.inf
+
+    def test_log2_peels(self):
+        assert tower(4).log2() == tower(3)
+        assert abs(TowerNumber.from_float(10.0).log2().to_float() - math.log2(10)) < 1e-12
+
+    def test_log_star(self):
+        for h in range(1, 9):
+            assert tower(h).log_star() == h
+
+    def test_log_star_float(self):
+        assert log_star_float(1) == 0
+        assert log_star_float(65536) == 4
+
+    def test_iterated_log(self):
+        assert iterated_log(tower(6), 2) == tower(4)
+        assert iterated_log(tower(3), 10) == TowerNumber(0, 1.0)
+
+    def test_comparisons_across_heights(self):
+        assert tower(5) > tower(4)
+        assert tower(4) > 65535
+        assert tower(2) < 5
+        assert tower(7) >= tower(7)
+        assert not (tower(6) < tower(5))
+
+    def test_comparison_same_height(self):
+        a = TowerNumber(2, 2000.0)
+        b = TowerNumber(2, 3000.0)
+        assert a < b
+
+    def test_exp2(self):
+        assert TowerNumber.from_float(4.0).exp2() == tower(0, 16.0) or True
+        assert TowerNumber.from_float(4.0).exp2().to_float() == 16.0
+        assert tower(4).exp2() == tower(5)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            TowerNumber.from_float(0.5)
+        with pytest.raises(ValueError):
+            TowerNumber(-1, 2.0)
+        with pytest.raises(ValueError):
+            TowerNumber(0, 1.0).log2()
+
+    def test_hash_consistency(self):
+        assert hash(tower(3)) == hash(TowerNumber(0, 16.0))
+
+
+class TestClaim10Formulas:
+    def test_ball_radius_delta4(self):
+        n = 10**6
+        k = claim10_ball_radius(n, 4)
+        # 3^k ~ (n^{1/3}+1)/2.
+        assert abs(3**k - (n ** (1 / 3) + 1) / 2) < 1e-6
+
+    def test_ball_radius_general_matches_at_reasonable_n(self):
+        assert claim10_ball_radius(10**6, 6) < claim10_ball_radius(10**6, 4)
+
+    def test_set_size_bound_decreasing_in_t(self):
+        assert claim10_set_size_bound(10**9, 1) > claim10_set_size_bound(10**9, 3)
+
+    def test_global_success_bound_shrinks_with_p(self):
+        assert claim10_global_success_bound(0.2, 10**9, 1) < claim10_global_success_bound(
+            0.01, 10**9, 1
+        )
+
+    def test_t_zero_rejected(self):
+        with pytest.raises(ValueError):
+            claim10_set_size_bound(100, 0)
+
+
+class TestIndependentSet:
+    def test_construction_respects_bound(self):
+        tree = balanced_regular_tree(4, 9)
+        orientation = orient_tree(tree, 2)
+        result = independent_execution_set(
+            tree, orientation, 0, t=1, ball_radius=8, seed_radius=2, verify=True
+        )
+        assert result.verified
+        effective_n = len(tree.ball(0, 8)) ** 3
+        assert result.size >= claim10_set_size_bound(effective_n, 1)
+
+    def test_members_at_stride_multiples(self):
+        tree = balanced_regular_tree(4, 8)
+        orientation = orient_tree(tree, 2)
+        result = independent_execution_set(
+            tree, orientation, 0, t=1, ball_radius=7, seed_radius=1, verify=True
+        )
+        dist = tree.bfs_distances(0)
+        for v in result.nodes:
+            assert (dist[v] - 1) % 3 == 0
+
+    def test_growth_factor_is_delta_minus_1(self):
+        tree = balanced_regular_tree(4, 9)
+        orientation = orient_tree(tree, 2)
+        result = independent_execution_set(
+            tree, orientation, 0, t=1, ball_radius=8, seed_radius=1, verify=False
+        )
+        # Seed sphere has 4 nodes; layers grow by factor 3.
+        assert result.seed_size == 4
+        assert result.size == 4 * 3 + 4 * 9
+
+    def test_shallow_tree_raises(self):
+        tree = balanced_regular_tree(4, 3)
+        orientation = orient_tree(tree, 2)
+        with pytest.raises(ValueError, match="shallow"):
+            independent_execution_set(tree, orientation, 0, t=1, ball_radius=3,
+                                      seed_radius=7)
+
+    def test_t_validation(self):
+        tree = balanced_regular_tree(4, 4)
+        orientation = orient_tree(tree, 2)
+        with pytest.raises(ValueError):
+            independent_execution_set(tree, orientation, 0, t=0, ball_radius=3)
+
+
+class TestRecurrences:
+    def test_palette_trajectory_growth(self):
+        traj = palette_trajectory(3, 4)
+        assert traj[0] == 2
+        assert all(b > a for a, b in zip(traj, traj[1:]))
+        # log* grows by 2 per step (two exponentials per round trip).
+        stars = [c.log_star() for c in traj]
+        assert stars[-1] - stars[-2] == 2
+
+    def test_palette_first_step_exact(self):
+        # c_hat = 2^(2*2) = 16, c_0 = 2^(4*16) = 2^64.
+        traj = palette_trajectory(1, 4)
+        assert traj[1].to_float() == 2.0**64
+
+    def test_palette_delta6_first_step(self):
+        traj = palette_trajectory(1, 6)
+        assert traj[1].to_float() == 2.0**96  # 2^(6 * 16)
+
+    def test_odd_delta_rejected(self):
+        with pytest.raises(ValueError):
+            palette_trajectory(2, 5)
+
+    def test_claim11_floor_matches_formula(self):
+        # (p0 / (5 c0))^(5^(2t+1)) at p0 = 2^-8, c0 = 2^4, t = 1.
+        expected = (5**3) * (-8 - math.log2(5) - 4)
+        assert abs(claim11_failure_floor_log2(-8, 4, 1, 4) - expected) < 1e-9
+
+    def test_claim11_floor_decreases_in_t(self):
+        floors = [claim11_failure_floor_log2(-8, 4, t, 4) for t in range(1, 5)]
+        assert all(b < a for a, b in zip(floors, floors[1:]))
+
+    def test_claim12_round_threshold(self):
+        assert claim12_round_threshold(14, 1) == 3.0
+        with pytest.raises(ValueError):
+            claim12_round_threshold(10, 0)
+
+    def test_claim12_ceiling_and_floor(self):
+        n = tower(10)
+        assert claim12_c0_ceiling(n, 1) == tower(7)
+        assert claim12_failure_floor_reciprocal(n, 1) == tower(8)
+
+
+class TestLemma9Theorem13:
+    def test_regime_not_reached_at_small_n(self):
+        evaluation = lemma9_evaluate(tower(6), b=1)
+        assert not evaluation.regime_reached
+        assert evaluation.below_half is None
+
+    def test_below_half_in_regime(self):
+        evaluation = lemma9_evaluate(tower(12), b=1)
+        assert evaluation.regime_reached
+        assert evaluation.below_half
+        assert evaluation.first_term_upper() < 0.25
+
+    def test_crossover_height(self):
+        h = theorem13_crossover_height(b=1)
+        assert h == 10
+        before = lemma9_evaluate(tower(h - 1), b=1)
+        assert not (before.regime_reached and before.below_half)
+
+    def test_crossover_moves_with_b(self):
+        assert theorem13_crossover_height(b=2) > theorem13_crossover_height(b=1)
+
+
+class TestBounds:
+    def test_zero_round_uniform_is_optimal(self):
+        uniform = zero_round_optimal_failure(4, 4)
+        skewed = zero_round_failure_of_distribution([0.7, 0.1, 0.1, 0.1], 4)
+        assert uniform < skewed
+        assert abs(uniform - 4.0**-4) < 1e-15
+
+    def test_distribution_validation(self):
+        with pytest.raises(ValueError):
+            zero_round_failure_of_distribution([0.5, 0.2], 4)
+
+    def test_id_collision_bound(self):
+        n = 10**6
+        m = round(n ** (1 / 3))
+        assert id_collision_probability_bound(m, n) < 1 / (2 * n ** (1 / 3)) + 1e-9
+
+    def test_theorem6_round_floor(self):
+        assert theorem6_round_floor(2**16, b=1) == pytest.approx(4 / 2 - 4)
+
+    def test_lemma_bounds_reexported(self):
+        assert first_lemma_bound(0.001, 2, 4) > 0
+        assert second_lemma_bound(0.001, 2, 4) > 0

@@ -1,0 +1,137 @@
+"""Tests for Cole-Vishkin color reduction on pseudoforests."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    cv_iterations_needed,
+    cv_step,
+    is_proper_on_pseudoforest,
+    log_star,
+    reduce_to_three_colors,
+)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2.0**65536 if False else 10**300) == 5
+
+    def test_zero_and_below(self):
+        assert log_star(0.5) == 0
+        assert log_star(0) == 0
+
+
+class TestCvStep:
+    def test_packs_lowest_differing_bit(self):
+        # colors 0b0110 and 0b0100 differ first at bit 1; bit of first is 1.
+        assert cv_step(0b0110, 0b0100) == 2 * 1 + 1
+
+    def test_result_smaller_range(self):
+        for a in range(64):
+            for b in range(64):
+                if a != b:
+                    assert 0 <= cv_step(a, b) < 12  # 2*5+1 max for 6-bit
+
+    def test_adjacent_outputs_differ(self):
+        # If v -> s and s -> w with all colors proper, the new colors of
+        # v and s differ.
+        rng = random.Random(0)
+        for _ in range(500):
+            v, s, w = rng.sample(range(1024), 3)
+            new_v = cv_step(v, s)
+            new_s = cv_step(s, w)
+            assert new_v != new_s or v == s
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(ValueError):
+            cv_step(5, 5)
+
+
+class TestIterationCount:
+    def test_small_palettes(self):
+        assert cv_iterations_needed(3) == 1
+        assert cv_iterations_needed(4) == 2
+
+    def test_monotone(self):
+        values = [cv_iterations_needed(b) for b in range(1, 200)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_log_star_growth(self):
+        # Doubling the bits should add at most one round beyond a point.
+        assert cv_iterations_needed(2**16) <= cv_iterations_needed(2**8) + 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cv_iterations_needed(0)
+
+
+def random_pseudoforest(n, rng):
+    """A random successor assignment avoiding self-loops."""
+    successor = []
+    for v in range(n):
+        u = rng.randrange(n - 1)
+        successor.append(u if u < v else u + 1)
+    return successor
+
+
+class TestReduceToThree:
+    def test_on_directed_cycle(self):
+        n = 10
+        successor = [(v + 1) % n for v in range(n)]
+        colors = list(range(n))
+        out, rounds = reduce_to_three_colors(colors, successor, color_bits=4)
+        assert set(out) <= {0, 1, 2}
+        assert is_proper_on_pseudoforest(out, successor)
+        assert rounds == cv_iterations_needed(4) + 6
+
+    def test_on_two_cycle(self):
+        successor = [1, 0]
+        out, _ = reduce_to_three_colors([0, 1], successor, color_bits=1)
+        assert out[0] != out[1]
+
+    def test_on_random_pseudoforests(self):
+        rng = random.Random(3)
+        for trial in range(20):
+            n = rng.randrange(5, 60)
+            successor = random_pseudoforest(n, rng)
+            colors = list(range(n))
+            rng.shuffle(colors)
+            # Initial coloring (a permutation) is proper: distinct values.
+            out, _ = reduce_to_three_colors(colors, successor, color_bits=6)
+            assert set(out) <= {0, 1, 2}
+            assert is_proper_on_pseudoforest(out, successor)
+
+    def test_large_color_space(self):
+        n = 40
+        rng = random.Random(9)
+        successor = random_pseudoforest(n, rng)
+        colors = rng.sample(range(10**9), n)
+        out, rounds = reduce_to_three_colors(colors, successor, color_bits=30)
+        assert set(out) <= {0, 1, 2}
+        assert is_proper_on_pseudoforest(out, successor)
+        # log* means few rounds even from a 30-bit space.
+        assert rounds <= cv_iterations_needed(30) + 6
+
+    def test_improper_input_rejected(self):
+        with pytest.raises(ValueError, match="not proper"):
+            reduce_to_three_colors([3, 3], [1, 0], color_bits=2)
+
+    def test_color_bits_bound_enforced(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            reduce_to_three_colors([0, 9], [1, 0], color_bits=2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reduce_to_three_colors([0, 1], [1, 0, 2], color_bits=2)
+
+    def test_already_three_colors_stays_proper(self):
+        successor = [1, 2, 0]
+        out, _ = reduce_to_three_colors([0, 1, 2], successor, color_bits=2)
+        assert set(out) <= {0, 1, 2}
+        assert is_proper_on_pseudoforest(out, successor)

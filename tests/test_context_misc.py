@@ -1,0 +1,103 @@
+"""Unit tests for NodeContext, base-class plumbing, and small utilities."""
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, edge_key, path, star
+from repro.lcl import EdgeLCL, PStarLabel, Violation, WeakColoring
+from repro.local_model import UNSET, NodeContext
+
+
+def make_ctx(**overrides):
+    defaults = dict(
+        degree=3,
+        n=10,
+        delta=4,
+        identifier=7,
+        input_label=None,
+        port_directions={0: (0, 1), 1: (0, -1), 2: (1, 1)},
+        rng=random.Random(0),
+    )
+    defaults.update(overrides)
+    return NodeContext(**defaults)
+
+
+class TestNodeContext:
+    def test_halt_commits_output(self):
+        ctx = make_ctx()
+        assert ctx.output is UNSET
+        ctx.halt("answer")
+        assert ctx.halted
+        assert ctx.output == "answer"
+
+    def test_double_halt_rejected(self):
+        ctx = make_ctx()
+        ctx.halt(1)
+        with pytest.raises(RuntimeError):
+            ctx.halt(2)
+
+    def test_set_output_without_halting(self):
+        ctx = make_ctx()
+        ctx.set_output("tentative")
+        assert not ctx.halted
+        assert ctx.output == "tentative"
+        ctx.set_output("final")
+        assert ctx.output == "final"
+
+    def test_port_in_direction(self):
+        ctx = make_ctx()
+        assert ctx.port_in_direction(0, 1) == 0
+        assert ctx.port_in_direction(1, 1) == 2
+        assert ctx.port_in_direction(1, -1) is None
+
+    def test_port_in_direction_unoriented(self):
+        ctx = make_ctx(port_directions=None)
+        assert ctx.port_in_direction(0, 1) is None
+
+    def test_forbidden_randomness_raises(self):
+        ctx = make_ctx(forbid_randomness=True)
+        with pytest.raises(RuntimeError):
+            ctx.rng.random()
+        with pytest.raises(RuntimeError):
+            ctx.rng.getrandbits(4)
+
+    def test_unset_is_singleton_with_repr(self):
+        assert repr(UNSET) == "UNSET"
+        assert type(UNSET)() is UNSET
+
+
+class TestSmallTypes:
+    def test_violation_str(self):
+        v = Violation(where=3, reason="bad")
+        assert "3" in str(v) and "bad" in str(v)
+
+    def test_pstar_label_str(self):
+        assert "⊥" in str(PStarLabel(2, None))
+        assert "5" in str(PStarLabel(0, 5))
+
+    def test_edge_lcl_label_of(self):
+        labeling = {edge_key(2, 1): "x"}
+        assert EdgeLCL.label_of(labeling, 1, 2) == "x"
+        assert EdgeLCL.label_of(labeling, 0, 1) is None
+
+    def test_weak_coloring_name(self):
+        assert "weak 2-coloring" in WeakColoring(2).name
+        assert "distance-3" in WeakColoring(4, distance=3).name
+
+
+class TestEdgeKeyUtilities:
+    def test_edge_set_frozen(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        es = g.edge_set()
+        assert es == frozenset({(0, 1), (1, 2)})
+
+    def test_star_sphere(self):
+        g = star(4)
+        assert g.sphere(0, 1) == [1, 2, 3, 4]
+        assert g.sphere(1, 2) == [2, 3, 4]
+
+    def test_path_ports_linear(self):
+        g = path(4)
+        assert g.neighbors(1) == (0, 2)
+        assert g.neighbors(2) == (1, 3)

@@ -1,0 +1,139 @@
+"""Tests for homogeneous LCLs (Section 3.2) and their solvers."""
+
+import pytest
+
+from repro.algorithms import (
+    solve_all_pstar,
+    solve_weak2_homogeneous,
+    solve_with_constant_label,
+)
+from repro.graphs import (
+    balanced_regular_tree,
+    caterpillar,
+    sequential_ids,
+    star,
+    toroidal_grid,
+)
+from repro.lcl import (
+    AlwaysAccept,
+    HomogeneousLCL,
+    HomogeneousLabel,
+    PStarLabel,
+    WeakColoring,
+)
+
+
+class TestHomogeneousLabel:
+    def test_exactly_one_part(self):
+        with pytest.raises(ValueError):
+            HomogeneousLabel()
+        with pytest.raises(ValueError):
+            HomogeneousLabel(p_label=1, pstar_label=PStarLabel(0, None))
+
+    def test_constructors(self):
+        a = HomogeneousLabel.solve_p("x")
+        assert a.p_label == "x" and a.pstar_label is None
+        b = HomogeneousLabel.solve_pstar(PStarLabel(1, None))
+        assert b.p_label is None and b.pstar_label is not None
+
+
+class TestHomogeneousVerifier:
+    def test_pstar_branch_checked(self):
+        g = star(4)
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        labels = [HomogeneousLabel.solve_pstar(PStarLabel(1, 1))] + [
+            HomogeneousLabel.solve_pstar(PStarLabel(1, None)) for _ in range(4)
+        ]
+        assert h.is_feasible(g, labels)
+
+    def test_pstar_branch_violation_reported(self):
+        g = star(4)
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        labels = [HomogeneousLabel.solve_pstar(PStarLabel(0, None))] + [
+            HomogeneousLabel.solve_pstar(PStarLabel(1, None)) for _ in range(4)
+        ]
+        violations = h.verify(g, labels)
+        assert any("P* branch" in v.reason for v in violations)
+
+    def test_p_branch_checked(self):
+        g = star(4)
+        h = HomogeneousLCL(WeakColoring(2), 4)
+        labels = [HomogeneousLabel.solve_p(0)] + [
+            HomogeneousLabel.solve_p(1) for _ in range(4)
+        ]
+        assert h.is_feasible(g, labels)
+
+    def test_p_branch_cannot_lean_on_pstar_nodes(self):
+        # A P-labeled node whose only neighbors chose P* has no weakly
+        # colored partner: the chain-termination mechanism of Section 3.2.
+        g = star(4)
+        h = HomogeneousLCL(WeakColoring(2), 4)
+        labels = [HomogeneousLabel.solve_p(0)] + [
+            HomogeneousLabel.solve_pstar(PStarLabel(1, None)) for _ in range(4)
+        ]
+        violations = h.verify(g, labels)
+        assert any("P branch" in v.reason and v.where == 0 for v in violations)
+
+    def test_unlabeled_node_fails(self):
+        g = star(3)
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        labels = [None] * 4
+        assert len(h.verify(g, labels)) == 4
+
+    def test_foreign_label_type_rejected(self):
+        g = star(3)
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        with pytest.raises(TypeError):
+            h.verify(g, ["plain string"] * 4)
+
+    def test_delta_minimum(self):
+        with pytest.raises(ValueError):
+            HomogeneousLCL(AlwaysAccept(), 2)
+
+
+class TestHomogeneousSolvers:
+    def test_constant_label_solver_on_trees(self):
+        g = balanced_regular_tree(4, 4)
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        sol = solve_with_constant_label(g, 4, "c", radius=2, ids=sequential_ids(g))
+        assert h.is_feasible(g, sol.labels)
+        assert sol.rounds == 4  # 2 * radius
+
+    def test_constant_label_rounds_independent_of_n(self):
+        rounds = set()
+        for depth in (2, 3, 4, 5):
+            g = balanced_regular_tree(4, depth)
+            sol = solve_with_constant_label(g, 4, "c", radius=1, ids=sequential_ids(g))
+            rounds.add(sol.rounds)
+        assert len(rounds) == 1
+
+    def test_constant_label_mixes_p_and_pstar(self):
+        g = balanced_regular_tree(4, 4)
+        sol = solve_with_constant_label(g, 4, "c", radius=1, ids=sequential_ids(g))
+        kinds = {label.pstar_label is not None for label in sol.labels}
+        assert kinds == {True, False}  # interior plays P, boundary plays P*
+
+    def test_weak2_homogeneous_on_trees(self):
+        g = balanced_regular_tree(4, 3)
+        h = HomogeneousLCL(WeakColoring(2), 4)
+        sol = solve_weak2_homogeneous(g, sequential_ids(g))
+        assert h.is_feasible(g, sol.labels)
+
+    def test_all_pstar_satisfies_any_inner_problem(self):
+        g = balanced_regular_tree(4, 3)
+        sol = solve_all_pstar(g, 4, sequential_ids(g))
+        for inner in (AlwaysAccept(), WeakColoring(2), WeakColoring(7)):
+            h = HomogeneousLCL(inner, 4)
+            assert h.is_feasible(g, sol.labels)
+
+    def test_all_pstar_on_torus(self):
+        g = toroidal_grid(4, 5)
+        sol = solve_all_pstar(g, 4, sequential_ids(g))
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        assert h.is_feasible(g, sol.labels)
+
+    def test_all_pstar_on_caterpillar(self):
+        g = caterpillar(6, 2)
+        sol = solve_all_pstar(g, 4, sequential_ids(g))
+        h = HomogeneousLCL(AlwaysAccept(), 4)
+        assert h.is_feasible(g, sol.labels)

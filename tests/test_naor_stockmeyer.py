@@ -1,0 +1,150 @@
+"""Tests for the odd-degree O(1) weak 2-coloring (Naor-Stockmeyer row)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    in_degree_labeling,
+    is_distance_k_weak,
+    odd_degree_weak_two_coloring,
+    order_type_labeling,
+)
+from repro.graphs import (
+    Graph,
+    balanced_regular_tree,
+    cycle,
+    path,
+    random_permutation_ids,
+    random_regular_graph,
+    sequential_ids,
+    sorted_by_bfs_ids,
+    star,
+)
+from repro.lcl import WeakColoring
+
+
+class TestInDegreeLabeling:
+    def test_one_round(self):
+        g = path(3)
+        labels, rounds = in_degree_labeling(g, [2, 1, 3])
+        assert rounds == 1
+        assert labels == [1, 0, 1]
+
+    def test_counts_smaller_neighbors(self):
+        g = star(4)
+        labels, _ = in_degree_labeling(g, [5, 1, 2, 3, 4])
+        assert labels[0] == 4
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            in_degree_labeling(path(3), [1, 1, 2])
+
+    def test_documented_negative_result(self):
+        """BFS-order identifiers flatten the in-degree labeling on trees.
+
+        This is the worst case that rules the in-degree shortcut out as
+        an O(1) weak coloring — kept as a regression anchor for the
+        docstring's claim.
+        """
+        g = balanced_regular_tree(3, 5)
+        labels, _ = in_degree_labeling(g, sorted_by_bfs_ids(g))
+        assert not is_distance_k_weak(g, labels, 2)
+        # Indeed everything except the root is in-degree 1.
+        assert set(labels[1:]) == {1}
+
+
+class TestOrderTypeLabeling:
+    def test_round_cost_is_radius(self):
+        g = path(4)
+        _, rounds = order_type_labeling(g, sequential_ids(g), radius=2)
+        assert rounds == 2
+
+    def test_weak_on_odd_regular_random(self):
+        rng = random.Random(0)
+        for d in (3, 5):
+            for trial in range(5):
+                g = random_regular_graph(30 if d == 3 else 36, d,
+                                         rng=random.Random(rng.getrandbits(64)))
+                labels, _ = order_type_labeling(g, random_permutation_ids(g, rng))
+                assert is_distance_k_weak(g, labels, 1)
+
+    def test_weak_on_odd_trees_with_adversarial_ids(self):
+        g = balanced_regular_tree(3, 5)
+        for ids in (sequential_ids(g), sorted_by_bfs_ids(g)):
+            labels, _ = order_type_labeling(g, ids)
+            assert is_distance_k_weak(g, labels, 1)
+
+    def test_weak_on_matchings(self):
+        g = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        labels, _ = order_type_labeling(g, [6, 1, 5, 2, 4, 3])
+        assert is_distance_k_weak(g, labels, 1)
+
+    def test_fails_on_even_degree_negative_control(self):
+        # The even-degree case is exactly where the paper's lower bound
+        # lives: increasing identifiers on a cycle are order-homogeneous.
+        g = cycle(12)
+        labels, _ = order_type_labeling(g, sequential_ids(g))
+        assert not is_distance_k_weak(g, labels, 1)
+
+    def test_types_are_injectively_encoded(self):
+        g = star(3)
+        labels, _ = order_type_labeling(g, sequential_ids(g))
+        # Center and leaves must differ (different degrees).
+        assert labels[0] != labels[1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            order_type_labeling(path(3), [1, 1, 2])
+
+
+class TestOddDegreeWeakTwoColoring:
+    def assert_weak2(self, g, labels):
+        assert not WeakColoring(2).verify(g, labels)
+
+    def test_on_3_regular_trees(self):
+        for depth in (1, 2, 4):
+            g = balanced_regular_tree(3, depth)
+            out = odd_degree_weak_two_coloring(g, sequential_ids(g))
+            self.assert_weak2(g, out.labels)
+
+    def test_on_3_and_5_regular_graphs(self):
+        rng = random.Random(7)
+        for d, n in ((3, 20), (5, 24)):
+            g = random_regular_graph(n, d, rng=rng)
+            out = odd_degree_weak_two_coloring(g, random_permutation_ids(g, rng))
+            self.assert_weak2(g, out.labels)
+
+    def test_on_matching(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        out = odd_degree_weak_two_coloring(g, [4, 1, 3, 2])
+        self.assert_weak2(g, out.labels)
+
+    def test_on_star_with_odd_center(self):
+        g = star(3)
+        out = odd_degree_weak_two_coloring(g, sequential_ids(g))
+        self.assert_weak2(g, out.labels)
+
+    def test_rounds_constant_across_sizes(self):
+        rounds = set()
+        for depth in (2, 3, 4, 5):
+            g = balanced_regular_tree(3, depth)
+            out = odd_degree_weak_two_coloring(g, sequential_ids(g))
+            rounds.add(out.rounds)
+        assert len(rounds) == 1
+
+    def test_rounds_constant_under_adversarial_ids(self):
+        g = balanced_regular_tree(3, 4)
+        r1 = odd_degree_weak_two_coloring(g, sequential_ids(g)).rounds
+        r2 = odd_degree_weak_two_coloring(g, sorted_by_bfs_ids(g)).rounds
+        assert r1 == r2
+
+    def test_even_degree_rejected(self):
+        g = cycle(6)
+        with pytest.raises(ValueError, match="odd"):
+            odd_degree_weak_two_coloring(g, sequential_ids(g))
+
+    def test_mixed_parity_rejected(self):
+        g = path(3)  # middle node has degree 2
+        with pytest.raises(ValueError, match="odd"):
+            odd_degree_weak_two_coloring(g, sequential_ids(g))

@@ -1,0 +1,146 @@
+"""Tests for the P* solvers (Lemma 3 partial, Lemma 17 global)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import solve_pstar, solve_pstar_partial
+from repro.graphs import (
+    Graph,
+    balanced_regular_tree,
+    caterpillar,
+    cycle,
+    path,
+    random_permutation_ids,
+    random_regular_graph,
+    sequential_ids,
+    star,
+    toroidal_grid,
+)
+from repro.lcl import PStar
+
+
+class TestPartialSolver:
+    def test_tree_partial_coverage_grows_with_radius(self):
+        g = balanced_regular_tree(4, 4)
+        ids = sequential_ids(g)
+        fractions = [
+            solve_pstar_partial(g, 4, r, ids).labeled_fraction() for r in (0, 1, 2, 4)
+        ]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == 1.0
+
+    def test_labeled_nodes_are_happy(self):
+        g = balanced_regular_tree(4, 4)
+        ids = sequential_ids(g)
+        for r in (1, 2, 3):
+            sol = solve_pstar_partial(g, 4, r, ids)
+            labeled = [v for v in g.nodes() if sol.labels[v] is not None]
+            # Happiness checkable where the pointer target is labeled too;
+            # Lemma 3 promises it for nodes within r of an irregularity.
+            checkable = [
+                v
+                for v in labeled
+                if sol.labels[v].p is None or sol.labels[sol.labels[v].p] is not None
+            ]
+            assert not PStar(4, require_all=False).verify(g, sol.labels, nodes=checkable)
+
+    def test_low_degree_nodes_always_labeled(self):
+        g = balanced_regular_tree(4, 3)
+        sol = solve_pstar_partial(g, 4, 0, sequential_ids(g))
+        for v in g.nodes():
+            if g.degree(v) < 4:
+                assert sol.labels[v] is not None
+                assert sol.labels[v].p is None
+
+    def test_rounds_equal_twice_radius(self):
+        g = balanced_regular_tree(4, 3)
+        sol = solve_pstar_partial(g, 4, 2, sequential_ids(g))
+        assert sol.rounds == 4
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            solve_pstar_partial(path(3), 3, -1, [1, 2, 3])
+
+
+class TestGlobalSolver:
+    @pytest.mark.parametrize(
+        "graph,delta",
+        [
+            (balanced_regular_tree(4, 4), 4),
+            (balanced_regular_tree(3, 5), 3),
+            (balanced_regular_tree(6, 2), 6),
+            (caterpillar(8, 2), 4),
+            (star(5), 5),
+            (path(12), 3),
+        ],
+    )
+    def test_trees_fully_happy(self, graph, delta):
+        sol = solve_pstar(graph, delta, sequential_ids(graph))
+        assert not PStar(delta).verify(graph, sol.labels)
+
+    def test_torus_fully_happy(self):
+        g = toroidal_grid(5, 6)
+        sol = solve_pstar(g, 4, sequential_ids(g))
+        assert not PStar(4).verify(g, sol.labels)
+
+    def test_odd_cycle_of_degree_delta(self):
+        # A 5-cycle with pendant trees making cycle nodes degree 3.
+        g = Graph(10)
+        for i in range(5):
+            g.add_edge(i, (i + 1) % 5)
+            g.add_edge(i, 5 + i)
+        sol = solve_pstar(g, 3, sequential_ids(g))
+        assert not PStar(3).verify(g, sol.labels)
+
+    def test_random_regular_graphs(self):
+        rng = random.Random(4)
+        for trial in range(5):
+            g = random_regular_graph(24, 4, rng=random.Random(rng.getrandbits(64)))
+            sol = solve_pstar(g, 4, random_permutation_ids(g, rng))
+            assert not PStar(4).verify(g, sol.labels)
+
+    def test_radius_tracks_depth_on_trees(self):
+        radii = []
+        for depth in (2, 3, 4, 5, 6):
+            g = balanced_regular_tree(4, depth)
+            radii.append(solve_pstar(g, 4, sequential_ids(g)).radius)
+        # Every node is within depth of a leaf; the exact-minimal radius
+        # grows by one per level (it is the depth of the interior).
+        assert radii == sorted(radii)
+        assert radii[-1] > radii[0]
+
+    def test_all_low_degree_graph(self):
+        g = path(6)  # all degrees < 4
+        sol = solve_pstar(g, 4, sequential_ids(g))
+        assert all(label.p is None for label in sol.labels)
+        assert not PStar(4).verify(g, sol.labels)
+
+    def test_degree_2_cycle_solved_via_cycle_irregularity(self):
+        # A cycle with delta = 2 has no low-degree node; the cycle itself
+        # is the irregularity and every node follows its orientation.
+        g = cycle(6)
+        sol = solve_pstar(g, 2, sequential_ids(g))
+        assert all(label is not None for label in sol.labels)
+        assert all(label.d == 0 and label.p is not None for label in sol.labels)
+
+    def test_deterministic_output(self):
+        g = balanced_regular_tree(4, 3)
+        ids = sequential_ids(g)
+        a = solve_pstar(g, 4, ids)
+        b = solve_pstar(g, 4, ids)
+        assert a.labels == b.labels
+
+
+class TestCyclePreference:
+    def test_nodes_near_cycle_point_with_d_zero(self):
+        # Triangle of degree-3 nodes with pendant paths.  At a radius
+        # where the cycle is in range (odd-cycle distance = max + 1 = 2)
+        # the cycle is preferred over the closer degree-2 path nodes.
+        g = Graph(9, [(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (5, 8)])
+        sol = solve_pstar_partial(g, 3, 2, sequential_ids(g))
+        for v in (0, 1, 2):
+            assert sol.labels[v].d == 0
+            assert sol.labels[v].p in (0, 1, 2)  # follows the cycle
+        # And the full labeling at this radius is happy.
+        assert not PStar(3).verify(g, sol.labels)

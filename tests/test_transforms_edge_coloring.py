@@ -1,0 +1,157 @@
+"""Tests for graph transforms, edge coloring, trichotomy, global failure,
+and the experiments CLI."""
+
+import random
+
+import pytest
+
+from repro.algorithms import edge_coloring_via_line_graph
+from repro.experiments import run_cycle_trichotomy, run_global_failure
+from repro.experiments.__main__ import main as experiments_main
+from repro.graphs import (
+    Graph,
+    balanced_regular_tree,
+    cycle,
+    graph_power,
+    line_graph,
+    path,
+    random_permutation_ids,
+    random_regular_graph,
+    sequential_ids,
+    star,
+)
+from repro.lcl import ProperEdgeColoring, WeakColoring
+from repro.speedup import local_maximum_coloring
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_shorter_path(self):
+        lg, edges = line_graph(path(5))
+        assert lg.n == 4
+        assert lg.m == 3
+        assert lg.is_tree()
+
+    def test_cycle_line_graph_is_cycle(self):
+        lg, _ = line_graph(cycle(7))
+        assert lg.n == 7 and lg.is_regular(2)
+        assert lg.girth() == 7
+
+    def test_star_line_graph_is_complete(self):
+        lg, _ = line_graph(star(4))
+        assert lg.n == 4
+        assert lg.m == 6  # K4
+
+    def test_degree_bound(self):
+        g = random_regular_graph(20, 4, rng=random.Random(0))
+        lg, _ = line_graph(g)
+        assert lg.max_degree() <= 2 * (4 - 1)
+
+    def test_edge_mapping_consistent(self):
+        g = balanced_regular_tree(3, 2)
+        lg, edges = line_graph(g)
+        assert len(edges) == g.m
+        assert lg.n == g.m
+
+    def test_empty_graph(self):
+        lg, edges = line_graph(Graph(3))
+        assert lg.n == 0 and edges == []
+
+
+class TestGraphPower:
+    def test_square_of_path(self):
+        g2 = graph_power(path(5), 2)
+        assert g2.has_edge(0, 2)
+        assert not g2.has_edge(0, 3)
+
+    def test_power_one_is_identity(self):
+        g = cycle(8)
+        assert graph_power(g, 1) == g
+
+    def test_distance_k_weak_becomes_distance_1(self):
+        g = path(7)
+        colors = [(v // 3) % 2 for v in g.nodes()]
+        assert WeakColoring(2, distance=3).is_feasible(g, colors)
+        assert WeakColoring(2, distance=1).is_feasible(graph_power(g, 3), colors)
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            graph_power(path(3), 0)
+
+
+class TestEdgeColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle(10), path(9), balanced_regular_tree(3, 3), star(5)],
+    )
+    def test_proper_and_within_palette(self, graph):
+        out = edge_coloring_via_line_graph(graph, sequential_ids(graph))
+        assert ProperEdgeColoring(out.palette).is_feasible(graph, out.colors)
+        assert out.palette <= 2 * graph.max_degree() - 1
+
+    def test_random_regular(self):
+        g = random_regular_graph(20, 4, rng=random.Random(1))
+        out = edge_coloring_via_line_graph(g, random_permutation_ids(g, random.Random(2)))
+        assert ProperEdgeColoring(out.palette).is_feasible(g, out.colors)
+
+    def test_edgeless(self):
+        out = edge_coloring_via_line_graph(Graph(4), [1, 2, 3, 4])
+        assert out.colors == {} and out.rounds == 0
+
+    def test_rounds_constant_in_n_on_cycles(self):
+        rounds = {
+            edge_coloring_via_line_graph(cycle(n), sequential_ids(cycle(n))).rounds
+            for n in (32, 128, 512)
+        }
+        assert max(rounds) - min(rounds) <= 3  # log*-flat
+
+
+class TestCycleTrichotomy:
+    def test_rows_and_fits(self):
+        result = run_cycle_trichotomy(sizes=(16, 64, 256, 1024))
+        assert [row.fit.best for row in result.rows] == [
+            "constant",
+            "log_star",
+            "linear",
+        ]
+        assert all(row.all_verified for row in result.rows)
+
+    def test_global_row_tracks_half_n(self):
+        result = run_cycle_trichotomy(sizes=(16, 64, 256))
+        global_row = result.rows[2]
+        for n, rounds in global_row.measurements:
+            assert rounds == n // 2  # cycle diameter
+
+
+class TestGlobalFailureExperiment:
+    def test_success_decays_and_respects_ceiling(self):
+        result = run_global_failure(sizes=(3, 6, 9), trials=100)
+        assert result.success_decays()
+        for point in result.points:
+            # Measured success cannot consistently beat the ceiling; give
+            # Monte Carlo 3-sigma slack.
+            sigma = (point.analytic_ceiling * (1 - point.analytic_ceiling) / 100) ** 0.5
+            assert point.measured_success <= point.analytic_ceiling + 3 * sigma + 0.05
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError, match="radius 1"):
+            run_global_failure(
+                algorithm=_radius2_algorithm(), sizes=(3,), trials=1
+            )
+
+    def test_format_table(self):
+        result = run_global_failure(sizes=(3,), trials=10)
+        assert "local failure" in result.format_table()
+
+
+def _radius2_algorithm():
+    from repro.speedup import NodeAlgorithm
+
+    return NodeAlgorithm(2, 2, 1, 2, lambda a: 0, name="radius2")
+
+
+class TestExperimentsCLI:
+    def test_quick_run_exits_zero(self, capsys):
+        assert experiments_main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] Table 1 verified" in out
+        assert "[FAIL]" not in out

@@ -1,0 +1,102 @@
+"""Tests for the weak-edge-coloring upper bound and engine orientation."""
+
+import random
+
+import pytest
+
+from repro.algorithms import weak_edge_coloring_via_proper
+from repro.graphs import (
+    balanced_regular_tree,
+    orient_torus,
+    orient_torus_nd,
+    orient_tree,
+    sequential_ids,
+    toroidal_grid,
+    toroidal_grid_nd,
+)
+from repro.lcl import WeakEdgeColoring
+from repro.local_model import LocalAlgorithm, run_local
+
+
+class TestWeakEdgeColoringUpperBound:
+    def test_on_2d_torus(self):
+        g = toroidal_grid(4, 5)
+        o = orient_torus(g, 4, 5)
+        out = weak_edge_coloring_via_proper(g, sequential_ids(g))
+        assert WeakEdgeColoring(out.palette, k=2).is_feasible(
+            g, out.colors, orientation=o
+        )
+        assert out.palette <= 2 * 4 - 1
+
+    def test_on_3d_torus(self):
+        dims = (3, 3, 4)
+        g = toroidal_grid_nd(dims)
+        o = orient_torus_nd(g, dims)
+        out = weak_edge_coloring_via_proper(g, sequential_ids(g))
+        assert WeakEdgeColoring(out.palette, k=3).is_feasible(
+            g, out.colors, orientation=o
+        )
+
+    def test_on_oriented_tree(self):
+        g = balanced_regular_tree(4, 3)
+        o = orient_tree(g, 2)
+        out = weak_edge_coloring_via_proper(g, sequential_ids(g))
+        assert WeakEdgeColoring(out.palette, k=2).is_feasible(
+            g, out.colors, orientation=o
+        )
+
+    def test_rounds_logstar_flat(self):
+        rounds = set()
+        for side in (4, 6, 8):
+            g = toroidal_grid(side, side)
+            rounds.add(weak_edge_coloring_via_proper(g, sequential_ids(g)).rounds)
+        assert max(rounds) - min(rounds) <= 3
+
+
+class DirectionEcho(LocalAlgorithm):
+    """Outputs the (dim, sign) labels of its ports — engine orientation test."""
+
+    name = "direction-echo"
+
+    def send(self, ctx):
+        return {}
+
+    def receive(self, ctx, messages):
+        ctx.halt(tuple(sorted(ctx.port_directions.items())))
+
+
+class TestEngineOrientation:
+    def test_contexts_receive_port_directions(self):
+        g = toroidal_grid(3, 4)
+        o = orient_torus(g, 3, 4)
+        result = run_local(g, DirectionEcho(), orientation=o)
+        for v in g.nodes():
+            directions = dict(result.outputs[v])
+            assert set(directions.values()) == {(0, 1), (0, -1), (1, 1), (1, -1)}
+            # Each port's direction matches the orientation's view.
+            for port, (dim, sign) in directions.items():
+                u = g.endpoint(v, port)
+                assert o.direction_at(v, u) == (dim, sign)
+
+    def test_unoriented_run_has_no_directions(self):
+        g = toroidal_grid(3, 3)
+
+        class NullCheck(LocalAlgorithm):
+            name = "null-check"
+
+            def send(self, ctx):
+                return {}
+
+            def receive(self, ctx, messages):
+                ctx.halt(ctx.port_directions)
+
+        result = run_local(g, NullCheck())
+        assert all(out is None for out in result.outputs)
+
+    def test_partial_orientation_on_tree(self):
+        g = balanced_regular_tree(4, 2)
+        o = orient_tree(g, 2)
+        result = run_local(g, DirectionEcho(), orientation=o)
+        # Leaves see exactly one labeled port.
+        for v in g.sphere(0, 2):
+            assert len(result.outputs[v]) == 1
