@@ -28,6 +28,8 @@ Subpackages
     Port-numbered graphs, generators, orientations, identifier schemes.
 ``repro.local_model``
     The synchronous LOCAL simulator, views, and the edge-centric model.
+``repro.instrumentation``
+    Tracers and metrics: observe any engine run without perturbing it.
 ``repro.lcl``
     LCL problems: catalog, the pointer problem P*, homogeneous LCLs.
 ``repro.algorithms``
@@ -42,13 +44,24 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, experiments, graphs, lcl, local_model, lowerbounds, speedup
+from . import (
+    algorithms,
+    analysis,
+    experiments,
+    graphs,
+    instrumentation,
+    lcl,
+    local_model,
+    lowerbounds,
+    speedup,
+)
 
 __all__ = [
     "algorithms",
     "analysis",
     "experiments",
     "graphs",
+    "instrumentation",
     "lcl",
     "local_model",
     "lowerbounds",

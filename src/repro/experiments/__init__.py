@@ -40,6 +40,16 @@ from .global_failure import (
     GlobalFailureResult,
     run_global_failure,
 )
+from .runner import (
+    ARTIFACT_SCHEMA,
+    CellResult,
+    ExperimentCell,
+    RunnerSummary,
+    default_plan,
+    derive_cell_seed,
+    execute_cell,
+    run_cells,
+)
 
 __all__ = [
     "GrowthFit",
@@ -82,4 +92,12 @@ __all__ = [
     "GlobalFailurePoint",
     "GlobalFailureResult",
     "run_global_failure",
+    "ARTIFACT_SCHEMA",
+    "CellResult",
+    "ExperimentCell",
+    "RunnerSummary",
+    "default_plan",
+    "derive_cell_seed",
+    "execute_cell",
+    "run_cells",
 ]

@@ -2,13 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments            # everything, default scales
-    python -m repro.experiments --quick    # smaller sweeps
+    python -m repro.experiments                     # serial report
+    python -m repro.experiments --quick             # smaller sweeps
+    python -m repro.experiments --jobs 4            # parallel cells
+    python -m repro.experiments --jobs 4 --artifacts out/   # + JSON artifacts
 
 Regenerates Table 1, the log* sweep, Figures 1-2 (speedup lemmas), the
 Theorem 4 ladder, the Theorem 5 classification, Lemma 2, Claim 10,
 Claims 11-12 / Theorem 13, the cycle trichotomy, and the global-failure
 amplification — each followed by its pass/fail verdict.
+
+With ``--jobs`` and/or ``--artifacts`` the workload runs through the
+cell runner (:mod:`repro.experiments.runner`): independent cells fan
+out over worker processes, each leaving a JSON artifact with its
+verdict, metrics, and timings.
+
+Exit-code contract (both paths): **0** iff every verdict passed, **1**
+if any verdict failed or a cell errored, **2** on usage errors
+(argparse's convention).
 """
 
 from __future__ import annotations
@@ -35,11 +46,68 @@ from . import (
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate every table, figure, and headline claim.",
+        description="Regenerate every table, figure, and headline claim. "
+        "Exit code: 0 iff every verdict passes, 1 otherwise, 2 on usage errors.",
     )
     parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent experiment cells over N worker processes "
+        "(switches to the cell runner; default: the serial report)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write one JSON artifact per cell plus summary.json into DIR "
+        "(implies the cell runner; default DIR with --jobs: ./artifacts)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for deterministic per-cell seed derivation (cell runner)",
+    )
     args = parser.parse_args(argv)
 
+    if args.jobs is not None or args.artifacts is not None:
+        return _run_parallel(args)
+    return _run_serial_report(args)
+
+
+def _run_parallel(args) -> int:
+    from .runner import default_plan, run_cells
+
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    jobs = args.jobs or 1
+    artifacts = args.artifacts or "artifacts"
+    cells = default_plan(quick=args.quick, base_seed=args.seed)
+    print(f"running {len(cells)} cells on {jobs} process(es) -> {artifacts}/")
+
+    def progress(result) -> None:
+        status = "ERROR" if result.error else ("PASS" if result.verdict else "FAIL")
+        print(f"  [{status}] {result.cell.cell_id}  ({result.wall_seconds:.2f}s)")
+
+    summary = run_cells(cells, jobs=jobs, artifacts_dir=artifacts, progress=progress)
+    print(
+        f"\nSUMMARY  {len(summary.results) - len(summary.failed)}/"
+        f"{len(summary.results)} cells passed in {summary.wall_seconds:.1f}s "
+        f"(artifacts: {artifacts}/)"
+    )
+    for result in summary.failed:
+        reason = "error" if result.error else "verdict failed"
+        print(f"  [FAIL] {result.cell.cell_id}: {reason}")
+        if result.error:
+            print("    " + result.error.splitlines()[-1])
+    return summary.exit_code
+
+
+def _run_serial_report(args) -> int:
     sizes = (50, 200, 800) if args.quick else (50, 200, 800, 3200)
     verdicts = []
 

@@ -1,0 +1,209 @@
+"""Aggregating tracer: per-round message/byte/halt/wall-clock metrics.
+
+:class:`MetricsTracer` folds the engine's event stream into a compact
+:class:`RunMetrics` summary — the object the parallel experiment runner
+serializes into its JSON artifacts.  It keeps O(rounds) state, not
+O(messages): each message updates a handful of counters.
+
+The metrics schema (``RunMetrics.to_dict``) is documented in
+``docs/OBSERVABILITY.md`` and is covered by a JSON round-trip test, so
+downstream consumers can treat it as stable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .sizes import SizeEstimator, estimate_size
+from .tracer import Tracer
+
+__all__ = ["RoundMetrics", "RunMetrics", "MetricsTracer"]
+
+
+@dataclass
+class RoundMetrics:
+    """Counters for one synchronous round."""
+
+    round: int
+    active: int
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bits_sent: int = 0
+    halts: int = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round,
+            "active": self.active,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bits_sent": self.bits_sent,
+            "halts": self.halts,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """The whole run, aggregated.
+
+    ``halt_histogram`` maps halting round -> number of nodes that halted
+    in that round (key 0 = halted during ``init``, before any
+    communication).  View engines populate ``views_gathered`` /
+    ``view_nodes`` / ``view_edges`` instead of the message counters;
+    the finite runner populates ``trials`` / ``trial_successes``.
+    """
+
+    engine: str = ""
+    algorithm: str = ""
+    n: int = 0
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bits_sent: int = 0
+    views_gathered: int = 0
+    view_nodes: int = 0
+    view_edges: int = 0
+    trials: int = 0
+    trial_successes: int = 0
+    wall_seconds: float = 0.0
+    halt_histogram: Dict[int, int] = field(default_factory=dict)
+    per_round: List[RoundMetrics] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the artifact ``metrics`` schema)."""
+        return {
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "rounds": self.rounds,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bits_sent": self.bits_sent,
+            "views_gathered": self.views_gathered,
+            "view_nodes": self.view_nodes,
+            "view_edges": self.view_edges,
+            "trials": self.trials,
+            "trial_successes": self.trial_successes,
+            "wall_seconds": self.wall_seconds,
+            # JSON objects have string keys; keep them sorted for diffs.
+            "halt_histogram": {
+                str(k): self.halt_histogram[k] for k in sorted(self.halt_histogram)
+            },
+            "per_round": [r.to_dict() for r in self.per_round],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
+        """Inverse of :meth:`to_dict` (artifact consumers' entry point)."""
+        return cls(
+            engine=data["engine"],
+            algorithm=data["algorithm"],
+            n=data["n"],
+            rounds=data["rounds"],
+            messages_sent=data["messages_sent"],
+            messages_delivered=data["messages_delivered"],
+            bits_sent=data["bits_sent"],
+            views_gathered=data["views_gathered"],
+            view_nodes=data["view_nodes"],
+            view_edges=data["view_edges"],
+            trials=data["trials"],
+            trial_successes=data["trial_successes"],
+            wall_seconds=data["wall_seconds"],
+            halt_histogram={int(k): v for k, v in data["halt_histogram"].items()},
+            per_round=[RoundMetrics(**r) for r in data["per_round"]],
+        )
+
+
+class MetricsTracer(Tracer):
+    """Fold the event stream into :class:`RunMetrics`.
+
+    Parameters
+    ----------
+    message_size:
+        Pluggable payload-size estimator (bits); defaults to
+        :func:`~repro.instrumentation.sizes.estimate_size`.
+    per_round:
+        Keep the per-round breakdown (O(rounds) memory).  Disable for
+        very long runs where only totals matter.
+    clock:
+        Injectable monotonic clock, for deterministic tests.
+
+    One tracer instance observes one run at a time; :meth:`on_run_start`
+    resets it, so reusing an instance across sequential runs keeps only
+    the last run's numbers.
+    """
+
+    def __init__(
+        self,
+        message_size: Optional[SizeEstimator] = None,
+        per_round: bool = True,
+        clock=time.perf_counter,
+    ):
+        self.message_size: SizeEstimator = message_size or estimate_size
+        self.keep_per_round = per_round
+        self.clock = clock
+        self.metrics = RunMetrics()
+        self._round: Optional[RoundMetrics] = None
+        self._round_started_at = 0.0
+        self._run_started_at = 0.0
+
+    # -- engine hooks ---------------------------------------------------
+    def on_run_start(self, engine: str, algorithm: str, n: int, **info: Any) -> None:
+        self.metrics = RunMetrics(engine=engine, algorithm=algorithm, n=n)
+        self._round = None
+        self._run_started_at = self.clock()
+
+    def on_round_start(self, round_number: int, active: int) -> None:
+        self._round = RoundMetrics(round=round_number, active=active)
+        self._round_started_at = self.clock()
+
+    def on_message(
+        self, sender: int, receiver: int, port: int, payload: Any, delivered: bool
+    ) -> None:
+        bits = self.message_size(payload)
+        self.metrics.messages_sent += 1
+        self.metrics.bits_sent += bits
+        if delivered:
+            self.metrics.messages_delivered += 1
+        if self._round is not None:
+            self._round.messages_sent += 1
+            self._round.bits_sent += bits
+            if delivered:
+                self._round.messages_delivered += 1
+
+    def on_halt(self, node: int, round_number: int, output: Any) -> None:
+        hist = self.metrics.halt_histogram
+        hist[round_number] = hist.get(round_number, 0) + 1
+        if self._round is not None and self._round.round == round_number:
+            self._round.halts += 1
+
+    def on_round_end(self, round_number: int) -> None:
+        if self._round is None:
+            return
+        self._round.wall_seconds = self.clock() - self._round_started_at
+        if self.keep_per_round:
+            self.metrics.per_round.append(self._round)
+        self._round = None
+
+    def on_view(self, center: Any, radius: int, nodes: int, edges: int) -> None:
+        self.metrics.views_gathered += 1
+        self.metrics.view_nodes += nodes
+        self.metrics.view_edges += edges
+
+    def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
+        self.metrics.trials += 1
+        if succeeded:
+            self.metrics.trial_successes += 1
+
+    def on_run_end(self, rounds: int, **info: Any) -> None:
+        self.metrics.rounds = rounds
+        self.metrics.wall_seconds = self.clock() - self._run_started_at
+
+    # -- conveniences ---------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The JSON-ready metrics dict of the last observed run."""
+        return self.metrics.to_dict()

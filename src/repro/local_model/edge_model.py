@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph, Edge, edge_key
 from ..graphs.orientation import Orientation
+from ..instrumentation.tracer import Tracer, effective_tracer
 from .views import View, gather_edge_view
 
 __all__ = ["EdgeViewAlgorithm", "EdgeExecutionResult", "run_edge_view_algorithm"]
@@ -73,8 +74,17 @@ def run_edge_view_algorithm(
     inputs: Optional[Sequence[Any]] = None,
     randomness: Optional[Sequence[Any]] = None,
     orientation: Optional[Orientation] = None,
+    tracer: Optional[Tracer] = None,
 ) -> EdgeExecutionResult:
-    """Evaluate an edge algorithm on every edge of ``graph``."""
+    """Evaluate an edge algorithm on every edge of ``graph``.
+
+    An optional ``tracer`` observes one
+    :meth:`~repro.instrumentation.Tracer.on_view` event per edge ball
+    (``center`` is the edge's ``(u, v)`` node pair).
+    """
+    tracer = effective_tracer(tracer)
+    if tracer is not None:
+        tracer.on_run_start("edge", algorithm.name, graph.m)
     outputs: Dict[Edge, Any] = {}
     radius = algorithm.view_radius()
     for u, v in graph.edges():
@@ -87,5 +97,10 @@ def run_edge_view_algorithm(
             randomness=randomness,
             orientation=orientation,
         )
+        if tracer is not None:
+            tracer.on_view((u, v), view.radius, view.node_count, len(view.edges))
         outputs[edge_key(u, v)] = algorithm.output_fn(view)
-    return EdgeExecutionResult(outputs=outputs, rounds=algorithm.rounds)
+    result = EdgeExecutionResult(outputs=outputs, rounds=algorithm.rounds)
+    if tracer is not None:
+        tracer.on_run_end(result.rounds)
+    return result

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
+from ..instrumentation.tracer import Tracer, effective_tracer
 from .algorithm import LocalAlgorithm, ViewAlgorithm
 from .context import NodeContext, UNSET
 from .views import gather_view
@@ -69,6 +70,7 @@ def run_local(
     rng: Optional[random.Random] = None,
     deterministic: bool = False,
     max_rounds: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionResult:
     """Run a message-passing algorithm to completion.
 
@@ -94,6 +96,10 @@ def run_local(
         Safety valve; defaults to ``4 * n + 16`` (any LOCAL problem is
         solvable in ``O(n)`` rounds, so a correct algorithm that exceeds
         this on a connected graph is looping).
+    tracer:
+        Optional :class:`~repro.instrumentation.Tracer` observing the
+        run (rounds, messages, halts).  ``None`` / ``NullTracer`` cost
+        nothing; tracers never alter the execution or its result.
 
     Raises
     ------
@@ -107,6 +113,7 @@ def run_local(
         raise ValueError("inputs must have one entry per node")
     if max_rounds is None:
         max_rounds = 4 * n + 16
+    tracer = effective_tracer(tracer)
     master = rng or random.Random(0)
     delta = graph.max_degree()
 
@@ -131,11 +138,16 @@ def run_local(
             )
         )
 
+    if tracer is not None:
+        tracer.on_run_start("local", algorithm.name, n)
+
     halt_rounds: List[Optional[int]] = [None] * n
     for v in graph.nodes():
         algorithm.init(contexts[v])
         if contexts[v].halted:
             halt_rounds[v] = 0
+            if tracer is not None:
+                tracer.on_halt(v, 0, contexts[v].output)
 
     rounds = 0
     active = [v for v in graph.nodes() if not contexts[v].halted]
@@ -148,6 +160,8 @@ def run_local(
             )
         for v in active:
             contexts[v].round_number = rounds
+        if tracer is not None:
+            tracer.on_round_start(rounds, len(active))
         outboxes: Dict[int, Dict[int, Any]] = {}
         for v in active:
             msgs = algorithm.send(contexts[v])
@@ -157,22 +171,32 @@ def run_local(
         for v, msgs in outboxes.items():
             for port, payload in msgs.items():
                 u = graph.endpoint(v, port)
-                if not contexts[u].halted:
+                delivered = not contexts[u].halted
+                if delivered:
                     inboxes[u][graph.port_to(u, v)] = payload
+                if tracer is not None:
+                    tracer.on_message(v, u, port, payload, delivered)
         next_active = []
         for v in active:
             algorithm.receive(contexts[v], inboxes[v])
             if contexts[v].halted:
                 halt_rounds[v] = rounds
+                if tracer is not None:
+                    tracer.on_halt(v, rounds, contexts[v].output)
             else:
                 next_active.append(v)
         active = next_active
+        if tracer is not None:
+            tracer.on_round_end(rounds)
 
-    return ExecutionResult(
+    result = ExecutionResult(
         outputs=[contexts[v].output for v in graph.nodes()],
         halt_rounds=halt_rounds,
         rounds=max((r for r in halt_rounds if r is not None), default=0),
     )
+    if tracer is not None:
+        tracer.on_run_end(result.rounds)
+    return result
 
 
 def run_view_algorithm(
@@ -182,12 +206,18 @@ def run_view_algorithm(
     inputs: Optional[Sequence[Any]] = None,
     randomness: Optional[Sequence[Any]] = None,
     orientation: Optional[Orientation] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionResult:
     """Run a view-style T-round algorithm (Section 2.1's functional form).
 
     Every node's output is ``algorithm.output(B_T(v))``; the running time
-    is ``T = algorithm.radius`` by definition.
+    is ``T = algorithm.radius`` by definition.  An optional ``tracer``
+    observes one :meth:`~repro.instrumentation.Tracer.on_view` event per
+    materialized ball (the view engine's bandwidth analogue).
     """
+    tracer = effective_tracer(tracer)
+    if tracer is not None:
+        tracer.on_run_start("view", algorithm.name, graph.n)
     outputs = []
     for v in graph.nodes():
         view = gather_view(
@@ -199,8 +229,12 @@ def run_view_algorithm(
             randomness=randomness,
             orientation=orientation,
         )
+        if tracer is not None:
+            tracer.on_view(v, view.radius, view.node_count, len(view.edges))
         outputs.append(algorithm.output(view))
     t = algorithm.radius
+    if tracer is not None:
+        tracer.on_run_end(t)
     return ExecutionResult(
         outputs=outputs, halt_rounds=[t] * graph.n, rounds=t
     )

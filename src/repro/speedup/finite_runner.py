@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
+from ..instrumentation.tracer import Tracer, effective_tracer
 from .algorithms import NodeAlgorithm
 from .ball import Word
 
@@ -98,6 +99,7 @@ def run_node_algorithm_on_oriented_graph(
     orientation: Orientation,
     values: Sequence[int],
     tables: Optional[List[List[int]]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> FiniteRunResult:
     """Evaluate ``alg`` at every node, given per-node random values.
 
@@ -109,6 +111,9 @@ def run_node_algorithm_on_oriented_graph(
     tables:
         Precomputed :func:`resolve_ball_tables` output (resolved and
         validated once per (algorithm, graph) instead of per call).
+    tracer:
+        Optional :class:`~repro.instrumentation.Tracer`; sees one
+        ``on_view`` per node (the resolved ball) plus run start/end.
 
     Raises
     ------
@@ -123,6 +128,12 @@ def run_node_algorithm_on_oriented_graph(
     if tables is None:
         tables = resolve_ball_tables(alg, graph, orientation)
 
+    tracer = effective_tracer(tracer)
+    if tracer is not None:
+        tracer.on_run_start("finite", alg.name, graph.n)
+        ball_size = len(alg.ball.words)
+        for v in graph.nodes():
+            tracer.on_view(v, alg.t, ball_size, max(0, ball_size - 1))
     outputs: List[object] = [
         alg.evaluate(tuple(values[u] for u in tables[v])) for v in graph.nodes()
     ]
@@ -132,6 +143,8 @@ def run_node_algorithm_on_oriented_graph(
         if graph.degree(v) > 0
         and all(outputs[u] == outputs[v] for u in graph.neighbors(v))
     ]
+    if tracer is not None:
+        tracer.on_run_end(alg.t)
     return FiniteRunResult(outputs=outputs, failing_nodes=failing)
 
 
@@ -141,18 +154,30 @@ def estimate_global_success(
     orientation: Orientation,
     trials: int,
     rng: Optional[random.Random] = None,
+    tracer: Optional[Tracer] = None,
 ) -> float:
-    """Monte Carlo estimate of Pr[the whole graph is weakly colored]."""
+    """Monte Carlo estimate of Pr[the whole graph is weakly colored].
+
+    An optional ``tracer`` observes one
+    :meth:`~repro.instrumentation.Tracer.on_trial` per trial.
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
     rng = rng or random.Random(0)
     tables = resolve_ball_tables(alg, graph, orientation)
+    tracer = effective_tracer(tracer)
+    if tracer is not None:
+        tracer.on_run_start("finite", alg.name, graph.n, trials=trials)
     successes = 0
-    for _ in range(trials):
+    for i in range(trials):
         values = [rng.randrange(alg.values) for _ in graph.nodes()]
         run = run_node_algorithm_on_oriented_graph(
             alg, graph, orientation, values, tables=tables
         )
         if run.succeeded:
             successes += 1
+        if tracer is not None:
+            tracer.on_trial(i, run.succeeded, len(run.failing_nodes))
+    if tracer is not None:
+        tracer.on_run_end(alg.t)
     return successes / trials

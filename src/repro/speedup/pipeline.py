@@ -21,6 +21,7 @@ from fractions import Fraction
 from typing import Any, List, Optional
 
 from ..analysis.towers import TowerNumber
+from ..instrumentation.tracer import Tracer, effective_tracer
 
 from .algorithms import EdgeAlgorithm, NodeAlgorithm
 from .failure import FailureEstimate, edge_local_failure, node_local_failure
@@ -75,6 +76,7 @@ def run_speedup_pipeline(
     method: str = "auto",
     samples: int = 100_000,
     threshold_override: Optional[Fraction] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SpeedupPipelineResult:
     """Iterate first/second speedup until the node radius hits zero.
 
@@ -90,7 +92,28 @@ def run_speedup_pipeline(
         Fix the frequency threshold ``f`` for every transformation
         instead of the paper's per-stage optimizing choice — the knob
         the ablation bench sweeps.
+    tracer:
+        Optional :class:`~repro.instrumentation.Tracer`; sees one
+        :meth:`~repro.instrumentation.Tracer.on_stage` per ladder rung
+        (kind, radius, measured failure, lemma bound).
     """
+    tracer = effective_tracer(tracer)
+    if tracer is not None:
+        tracer.on_run_start("pipeline", start.name, start.t)
+
+    def note(stage: PipelineStage) -> None:
+        if tracer is not None:
+            tracer.on_stage(
+                stage.kind,
+                stage.radius,
+                {
+                    "name": stage.name,
+                    "measured_failure": stage.measured_failure.as_float(),
+                    "lemma_bound": stage.lemma_bound,
+                    "threshold": None if stage.threshold is None else float(stage.threshold),
+                },
+            )
+
     result = SpeedupPipelineResult()
     node = start
     p = node_local_failure(node, method=method, samples=samples)
@@ -105,6 +128,7 @@ def run_speedup_pipeline(
             name=node.name,
         )
     )
+    note(result.stages[-1])
 
     while node.t >= 1:
         delta = node.delta
@@ -124,6 +148,7 @@ def run_speedup_pipeline(
                 name=edge.name,
             )
         )
+        note(result.stages[-1])
 
         c_edge = edge.palette
         p_edge_val = p_edge.as_float()
@@ -141,5 +166,8 @@ def run_speedup_pipeline(
                 name=node.name,
             )
         )
+        note(result.stages[-1])
 
+    if tracer is not None:
+        tracer.on_run_end(len(result.stages))
     return result

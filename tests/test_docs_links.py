@@ -1,0 +1,31 @@
+"""The docs link-checker must pass on the repository's own markdown."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_docs_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_doc_links.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_broken_links(tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text("see [missing](no/such/file.md)\n")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_doc_links.py"),
+         str(doc)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "broken link" in proc.stdout

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in the docs resolve to real files.
+
+Usage::
+
+    python tools/check_doc_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks ``README.md``, ``docs/``, and the top-level
+``*.md`` files.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#...``) are skipped; relative links are resolved
+against the containing file's directory and must point at an existing
+file or directory.  Exit code 0 when every link resolves, 1 otherwise —
+CI's docs step runs exactly this.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_markdown_files(arguments: List[str]) -> Iterable[str]:
+    if not arguments:
+        arguments = ["README.md", "docs"] + sorted(
+            f for f in os.listdir(".") if f.endswith(".md") and f != "README.md"
+        )
+    for arg in arguments:
+        if os.path.isdir(arg):
+            for root, _dirs, files in os.walk(arg):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif arg.endswith(".md") and os.path.exists(arg):
+            yield arg
+
+
+def check_file(path: str) -> List[Tuple[int, str, str]]:
+    """All broken links in one file as (line, target, reason)."""
+    broken = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if _CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), relative)
+                )
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target, f"missing: {resolved}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    seen = set()
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files(argv):
+        normalized = os.path.normpath(path)
+        if normalized in seen:
+            continue
+        seen.add(normalized)
+        checked += 1
+        for lineno, target, reason in check_file(normalized):
+            print(f"{normalized}:{lineno}: broken link ({target}) — {reason}")
+            failures += 1
+    print(f"checked {checked} markdown file(s): "
+          f"{'all links ok' if not failures else f'{failures} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
