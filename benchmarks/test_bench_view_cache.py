@@ -1,0 +1,145 @@
+"""Benchmark regression guard for the canonical-view cache.
+
+Measures cached-vs-direct wall clock for radius-2 view rules on the
+Δ ∈ {4, 6} balanced regular trees (n ≥ 2000 each) and asserts
+
+* the headline claim: **>= 3x speedup** on the 4-regular tree — the
+  number ``docs/PERFORMANCE.md`` quotes;
+* no regression: each config's speedup stays within **2x** of the
+  committed baseline (the last entry of
+  ``benchmarks/BENCH_view_cache.json``).  Speedup is a ratio of two
+  timings on the same machine, so the comparison is machine-independent
+  in a way raw wall-clock thresholds are not;
+* determinism: hit rate and distinct-class counts match the baseline
+  *exactly* — they depend only on the graph, never on the machine.
+
+Run with ``BENCH_UPDATE=1`` to append the current measurements as a new
+trajectory entry (and commit the json); plain runs never write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+import pytest
+
+from repro.algorithms.view_rules import make_view_rule
+from repro.graphs import balanced_regular_tree
+from repro.local_model import ViewCache
+from repro.local_model.network import run_view_algorithm
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_view_cache.json")
+
+#: The measured grid.  Keep keys stable: they index the json trajectory.
+CONFIGS = {
+    "tree-d4-ball-signature-r2": {
+        "delta": 4, "depth": 7, "rule": "ball-signature", "radius": 2,
+    },
+    "tree-d4-degree-profile-r2": {
+        "delta": 4, "depth": 7, "rule": "degree-profile", "radius": 2,
+    },
+    "tree-d6-ball-signature-r2": {
+        "delta": 6, "depth": 5, "rule": "ball-signature", "radius": 2,
+    },
+}
+
+#: Configs that must meet the headline >= 3x bar (4-regular, radius 2).
+HEADLINE_MIN_SPEEDUP = 3.0
+HEADLINE_CONFIGS = ("tree-d4-ball-signature-r2", "tree-d4-degree-profile-r2")
+
+#: Regression tolerance against the committed baseline speedup.
+BASELINE_TOLERANCE = 2.0
+
+_REPEATS = 3
+
+
+def _measure(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Best-of-N cached and direct timings for one config."""
+    graph = balanced_regular_tree(config["delta"], config["depth"])
+    rule = make_view_rule(config["rule"], radius=config["radius"])
+    direct_times, cached_times = [], []
+    stats = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        direct = run_view_algorithm(graph, rule)
+        direct_times.append(time.perf_counter() - start)
+        cache = ViewCache()
+        start = time.perf_counter()
+        cached = run_view_algorithm(graph, rule, view_cache=cache)
+        cached_times.append(time.perf_counter() - start)
+        assert cached.outputs == direct.outputs  # exactness, every repeat
+        stats = cache.stats
+    direct_s, cached_s = min(direct_times), min(cached_times)
+    return {
+        "n": graph.n,
+        "direct_seconds": round(direct_s, 6),
+        "cached_seconds": round(cached_s, 6),
+        "speedup": round(direct_s / cached_s, 3),
+        "hit_rate": round(stats.hit_rate, 6),
+        "distinct_classes": stats.distinct_classes,
+    }
+
+
+def _load_bench() -> Dict[str, Any]:
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _baseline() -> Dict[str, Any]:
+    """The most recent committed trajectory entry."""
+    return _load_bench()["trajectory"][-1]["results"]
+
+
+@pytest.fixture(scope="module")
+def measurements() -> Dict[str, Dict[str, Any]]:
+    results = {name: _measure(config) for name, config in CONFIGS.items()}
+    if os.environ.get("BENCH_UPDATE") == "1":
+        data = _load_bench()
+        data["trajectory"].append(
+            {"entry": len(data["trajectory"]) + 1, "results": results}
+        )
+        with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def test_baseline_file_is_committed():
+    data = _load_bench()
+    assert data["schema"] == "repro.bench-view-cache/1"
+    assert data["trajectory"], "baseline trajectory must not be empty"
+    assert set(_baseline()) == set(CONFIGS)
+
+
+@pytest.mark.parametrize("name", sorted(HEADLINE_CONFIGS))
+def test_headline_speedup_on_4_regular_trees(measurements, name):
+    result = measurements[name]
+    assert result["n"] >= 2000
+    assert result["speedup"] >= HEADLINE_MIN_SPEEDUP, (
+        f"{name}: cached engine is only {result['speedup']}x faster "
+        f"(need >= {HEADLINE_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_speedup_within_tolerance_of_baseline(measurements, name):
+    baseline = _baseline()[name]
+    current = measurements[name]
+    floor = baseline["speedup"] / BASELINE_TOLERANCE
+    assert current["speedup"] >= floor, (
+        f"{name}: speedup regressed to {current['speedup']}x, more than "
+        f"{BASELINE_TOLERANCE}x below the committed {baseline['speedup']}x"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_cache_shape_is_deterministic(measurements, name):
+    # Hit rate and class counts are functions of the graph alone.
+    baseline = _baseline()[name]
+    current = measurements[name]
+    assert current["n"] == baseline["n"]
+    assert current["distinct_classes"] == baseline["distinct_classes"]
+    assert current["hit_rate"] == pytest.approx(baseline["hit_rate"])

@@ -53,6 +53,14 @@ from .homogeneous_solver import (
     solve_weak2_homogeneous,
     solve_all_pstar,
 )
+from .view_rules import (
+    LocalMaximumRule,
+    RandomPriorityRule,
+    BallSignatureColoring,
+    DegreeProfileRule,
+    VIEW_RULE_NAMES,
+    make_view_rule,
+)
 
 __all__ = [
     "log_star",
@@ -104,4 +112,10 @@ __all__ = [
     "solve_with_constant_label",
     "solve_weak2_homogeneous",
     "solve_all_pstar",
+    "LocalMaximumRule",
+    "RandomPriorityRule",
+    "BallSignatureColoring",
+    "DegreeProfileRule",
+    "VIEW_RULE_NAMES",
+    "make_view_rule",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments --quick             # smaller sweeps
     python -m repro.experiments --jobs 4            # parallel cells
     python -m repro.experiments --jobs 4 --artifacts out/   # + JSON artifacts
+    python -m repro.experiments --view-cache --quick  # cached-vs-direct cells
 
 Regenerates Table 1, the log* sweep, Figures 1-2 (speedup lemmas), the
 Theorem 4 ladder, the Theorem 5 classification, Lemma 2, Claim 10,
@@ -71,9 +72,16 @@ def main(argv=None) -> int:
         default=0,
         help="base seed for deterministic per-cell seed derivation (cell runner)",
     )
+    parser.add_argument(
+        "--view-cache",
+        action="store_true",
+        help="run view-rule cells through the canonical-view cache and make "
+        "each cell a cached-vs-direct differential check (implies the cell "
+        "runner; cache hit rates land in the artifacts)",
+    )
     args = parser.parse_args(argv)
 
-    if args.jobs is not None or args.artifacts is not None:
+    if args.jobs is not None or args.artifacts is not None or args.view_cache:
         return _run_parallel(args)
     return _run_serial_report(args)
 
@@ -86,7 +94,9 @@ def _run_parallel(args) -> int:
         return 2
     jobs = args.jobs or 1
     artifacts = args.artifacts or "artifacts"
-    cells = default_plan(quick=args.quick, base_seed=args.seed)
+    cells = default_plan(
+        quick=args.quick, base_seed=args.seed, view_cache=args.view_cache
+    )
     print(f"running {len(cells)} cells on {jobs} process(es) -> {artifacts}/")
 
     def progress(result) -> None:

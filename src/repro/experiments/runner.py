@@ -15,13 +15,21 @@ JSON artifact per cell, so that
   :class:`~repro.instrumentation.MetricsTracer`) report message counts,
   bandwidth, and halt histograms alongside the verdicts.
 
-Two cell kinds exist:
+Three cell kinds exist:
 
 ``local-algorithm``
     Run one message-passing :class:`~repro.local_model.LocalAlgorithm`
     on one generated graph under one derived seed, verify the output
     with the matching LCL verifier, and attach the full
     :class:`~repro.instrumentation.RunMetrics` report.
+
+``view-algorithm``
+    Run one view rule (:mod:`repro.algorithms.view_rules`) on one
+    generated graph under one labeling.  With ``view_cache`` set the
+    cell runs twice — directly and through the canonical-view
+    memoization cache (:mod:`repro.local_model.cache`) — and its
+    verdict is the bit-identical differential check; the artifact
+    carries the cache hit rate.
 
 ``report``
     Wrap one of the classic experiment runners (Table 1, the log\\*
@@ -48,11 +56,11 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..graphs.generators import balanced_regular_tree, cycle
+from ..graphs.generators import balanced_regular_tree, cycle, toroidal_grid
 from ..graphs.identifiers import random_permutation_ids
 from ..instrumentation import MetricsTracer
 from ..lcl.catalog import MaximalIndependentSet, ProperColoring, WeakColoring
-from ..local_model.network import run_local
+from ..local_model.network import run_local, run_view_algorithm
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -136,6 +144,8 @@ def _build_graph(params: Dict[str, Any]):
         return cycle(params["n"])
     if family == "tree":
         return balanced_regular_tree(params["delta"], params["depth"])
+    if family == "torus":
+        return toroidal_grid(params["rows"], params["cols"])
     raise ValueError(f"unknown graph family {family!r}")
 
 
@@ -175,6 +185,65 @@ def _run_local_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, An
             "verifier": verifier.name,
         },
     }
+
+
+# ---------------------------------------------------------------------------
+# Cell kind: view-algorithm
+# ---------------------------------------------------------------------------
+
+def _run_view_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One view rule on one graph under one labeling.
+
+    With ``view_cache`` on, the cell runs the rule twice — once directly
+    and once through the canonical-view cache — and its verdict is the
+    *differential check*: the two :class:`ExecutionResult`s must agree
+    bit for bit.  The reported metrics come from the cached run, so the
+    artifact carries the cache hit rate.  Without the cache the verdict
+    is the basic execution contract (every node halts at the rule's
+    radius).
+    """
+    from ..algorithms.view_rules import make_view_rule
+    from ..local_model.cache import ViewCache
+
+    graph = _build_graph(params)
+    rule = make_view_rule(params["rule"], radius=params.get("radius", 2))
+    labeling = params.get("labeling", "anonymous")
+    rng = random.Random(seed)
+    ids = randomness = None
+    if labeling == "ids":
+        ids = random_permutation_ids(graph, rng)
+    elif labeling == "random":
+        randomness = [rng.getrandbits(16) for _ in graph.nodes()]
+    elif labeling != "anonymous":
+        raise ValueError(f"unknown labeling {labeling!r}")
+
+    direct = run_view_algorithm(graph, rule, ids=ids, randomness=randomness)
+    detail: Dict[str, Any] = {
+        "n": graph.n,
+        "m": graph.m,
+        "rule": rule.name,
+        "labeling": labeling,
+        "rounds": direct.rounds,
+        "distinct_outputs": len(set(direct.outputs)),
+    }
+    if not params.get("view_cache", False):
+        verdict = all(r == rule.radius for r in direct.halt_rounds)
+        return {"verdict": verdict, "metrics": None, "detail": detail}
+
+    cache = ViewCache()
+    tracer = MetricsTracer(per_round=False)
+    cached = run_view_algorithm(
+        graph, rule, ids=ids, randomness=randomness,
+        tracer=tracer, view_cache=cache,
+    )
+    identical = (
+        cached.outputs == direct.outputs
+        and cached.halt_rounds == direct.halt_rounds
+        and cached.rounds == direct.rounds
+    )
+    detail["differential_identical"] = identical
+    detail["cache"] = cache.stats.to_dict()
+    return {"verdict": identical, "metrics": tracer.report(), "detail": detail}
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +327,7 @@ def _run_report_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 _CELL_KINDS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, Any]]] = {
     "local-algorithm": _run_local_algorithm_cell,
+    "view-algorithm": _run_view_algorithm_cell,
     "report": _run_report_cell,
 }
 
@@ -397,12 +467,16 @@ def run_cells(
 # The default plan
 # ---------------------------------------------------------------------------
 
-def default_plan(quick: bool = False, base_seed: int = 0) -> List[ExperimentCell]:
+def default_plan(
+    quick: bool = False, base_seed: int = 0, view_cache: bool = False
+) -> List[ExperimentCell]:
     """The standard cell decomposition of ``python -m repro.experiments``.
 
     Instrumented algorithm cells form a (graph × size × seed ×
-    algorithm) grid; report cells carry the classic per-claim verdicts
-    with the same parameter choices as the legacy serial report.
+    algorithm) grid; view-rule cells cover the view engines (with
+    ``view_cache=True`` each doubles as a cached-vs-direct differential
+    check); report cells carry the classic per-claim verdicts with the
+    same parameter choices as the legacy serial report.
     """
     cells: List[ExperimentCell] = []
 
@@ -440,6 +514,35 @@ def default_plan(quick: bool = False, base_seed: int = 0) -> List[ExperimentCell
                     f"local-{algorithm}",
                     "local-algorithm",
                     {"algorithm": algorithm, "seed_index": seed_index, **graph_params},
+                )
+
+    # -- view-rule grid (differential when view_cache is on) -------------
+    view_graphs = [
+        ("cycle64", {"graph": "cycle", "n": 64}),
+        ("tree3d4", {"graph": "tree", "delta": 3, "depth": 4}),
+        ("torus8x8", {"graph": "torus", "rows": 8, "cols": 8}),
+    ]
+    view_rules = [
+        ("local-max", 1, "ids"),
+        ("random-priority", 1, "random"),
+        ("ball-signature", 2, "anonymous"),
+        ("degree-profile", 2, "anonymous"),
+    ]
+    for rule, radius, labeling in view_rules:
+        for graph_name, graph_params in view_graphs:
+            for seed_index in (0,) if quick else seeds:
+                add(
+                    f"view-{rule}-{graph_name}-s{seed_index}",
+                    f"view-{rule}",
+                    "view-algorithm",
+                    {
+                        "rule": rule,
+                        "radius": radius,
+                        "labeling": labeling,
+                        "seed_index": seed_index,
+                        "view_cache": view_cache,
+                        **graph_params,
+                    },
                 )
 
     # -- classic report cells (legacy __main__ parameters) ---------------

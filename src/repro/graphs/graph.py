@@ -177,6 +177,15 @@ class Graph:
         """Neighbors of ``v`` in port order (port ``i`` leads to entry ``i``)."""
         return tuple(self._adj[v])
 
+    def adjacency_rows(self) -> Sequence[Sequence[int]]:
+        """The adjacency lists themselves, indexed by node, in port order.
+
+        Unlike :meth:`neighbors` this does not copy — it hands out the
+        internal lists for hot paths that walk many rows per call (the
+        view engines).  Callers must treat the rows as read-only.
+        """
+        return self._adj
+
     # ------------------------------------------------------------------
     # Port numbering
     # ------------------------------------------------------------------

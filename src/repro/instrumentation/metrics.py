@@ -55,6 +55,10 @@ class RunMetrics:
     communication).  View engines populate ``views_gathered`` /
     ``view_nodes`` / ``view_edges`` instead of the message counters;
     the finite runner populates ``trials`` / ``trial_successes``.
+    Memoizing engines (the cached view engines, the finite runner's
+    ball tables) populate the ``cache_*`` counters — one lookup per
+    computing entity, each a hit or a miss; ``cache_hit_rate`` is the
+    fraction served from the cache.
     """
 
     engine: str = ""
@@ -69,9 +73,19 @@ class RunMetrics:
     view_edges: int = 0
     trials: int = 0
     trial_successes: int = 0
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes: int = 0
+    cache_distinct_classes: int = 0
     wall_seconds: float = 0.0
     halt_histogram: Dict[int, int] = field(default_factory=dict)
     per_round: List[RoundMetrics] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when no cache ran)."""
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready dict (the artifact ``metrics`` schema)."""
@@ -88,6 +102,12 @@ class RunMetrics:
             "view_edges": self.view_edges,
             "trials": self.trials,
             "trial_successes": self.trial_successes,
+            "cache_lookups": self.cache_lookups,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_bytes": self.cache_bytes,
+            "cache_distinct_classes": self.cache_distinct_classes,
+            "cache_hit_rate": self.cache_hit_rate,
             "wall_seconds": self.wall_seconds,
             # JSON objects have string keys; keep them sorted for diffs.
             "halt_histogram": {
@@ -112,6 +132,13 @@ class RunMetrics:
             view_edges=data["view_edges"],
             trials=data["trials"],
             trial_successes=data["trial_successes"],
+            # Cache counters arrived with the view-cache engine; default
+            # to 0 so pre-cache artifacts still load.
+            cache_lookups=data.get("cache_lookups", 0),
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+            cache_bytes=data.get("cache_bytes", 0),
+            cache_distinct_classes=data.get("cache_distinct_classes", 0),
             wall_seconds=data["wall_seconds"],
             halt_histogram={int(k): v for k, v in data["halt_histogram"].items()},
             per_round=[RoundMetrics(**r) for r in data["per_round"]],
@@ -193,6 +220,13 @@ class MetricsTracer(Tracer):
         self.metrics.views_gathered += 1
         self.metrics.view_nodes += nodes
         self.metrics.view_edges += edges
+
+    def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
+        self.metrics.cache_lookups += stats.get("lookups", 0)
+        self.metrics.cache_hits += stats.get("hits", 0)
+        self.metrics.cache_misses += stats.get("misses", 0)
+        self.metrics.cache_bytes += stats.get("bytes", 0)
+        self.metrics.cache_distinct_classes += stats.get("distinct_classes", 0)
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         self.metrics.trials += 1

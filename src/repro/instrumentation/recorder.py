@@ -104,6 +104,9 @@ class TraceRecorder(Tracer):
     def on_view(self, center: Any, radius: int, nodes: int, edges: int) -> None:
         self._emit("view", center=center, radius=radius, nodes=nodes, edges=edges)
 
+    def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
+        self._emit("cache", engine=engine, **stats)
+
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         self._emit(
             "trial", index=index, succeeded=succeeded, failing_nodes=failing_nodes

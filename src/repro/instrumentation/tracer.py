@@ -31,6 +31,7 @@ on_message          message-passing engine, once per sent message
 on_halt             message-passing engine, when a node commits + stops
 on_round_end        message-passing engine, after deliveries + receives
 on_view             view engines, once per materialized ball
+on_cache            cached engines, once per run, with lookup stats
 on_trial            finite runner, once per Monte Carlo trial
 on_stage            speedup pipeline, once per ladder stage
 on_run_end          every engine, once, after the result is assembled
@@ -99,6 +100,17 @@ class Tracer:
         center in the operational model).
         """
 
+    def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
+        """A memoizing engine reports its per-run cache statistics.
+
+        Fired once, just before :meth:`on_run_end`, by the cached view
+        engines and the finite runner.  ``stats`` is the JSON-ready
+        form of :class:`~repro.local_model.cache.CacheStats`
+        (``lookups``, ``hits``, ``misses``, ``bytes``,
+        ``distinct_classes``, ``hit_rate``), covering this run only
+        even when the underlying cache is shared across runs.
+        """
+
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         """One Monte Carlo trial of the finite runner finished."""
 
@@ -151,6 +163,10 @@ class MultiTracer(Tracer):
     def on_view(self, center: Any, radius: int, nodes: int, edges: int) -> None:
         for t in self.tracers:
             t.on_view(center, radius, nodes, edges)
+
+    def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
+        for t in self.tracers:
+            t.on_cache(engine, stats)
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         for t in self.tracers:

@@ -3,11 +3,25 @@
 from .algorithm import LocalAlgorithm, ViewAlgorithm
 from .context import NodeContext, UNSET
 from .network import ExecutionResult, run_local, run_view_algorithm
-from .views import View, gather_view, gather_edge_view
+from .views import (
+    View,
+    gather_view,
+    gather_edge_view,
+    view_signature,
+    edge_view_signature,
+)
 from .edge_model import (
     EdgeViewAlgorithm,
     EdgeExecutionResult,
     run_edge_view_algorithm,
+)
+from .cache import (
+    CacheStats,
+    KeyedCache,
+    ViewCache,
+    ball_assignment_key,
+    run_view_algorithm_cached,
+    run_edge_view_algorithm_cached,
 )
 from .order_invariant import (
     order_projected_view,
@@ -27,6 +41,14 @@ __all__ = [
     "View",
     "gather_view",
     "gather_edge_view",
+    "view_signature",
+    "edge_view_signature",
+    "CacheStats",
+    "KeyedCache",
+    "ViewCache",
+    "ball_assignment_key",
+    "run_view_algorithm_cached",
+    "run_edge_view_algorithm_cached",
     "EdgeViewAlgorithm",
     "EdgeExecutionResult",
     "run_edge_view_algorithm",

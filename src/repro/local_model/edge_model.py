@@ -75,13 +75,32 @@ def run_edge_view_algorithm(
     randomness: Optional[Sequence[Any]] = None,
     orientation: Optional[Orientation] = None,
     tracer: Optional[Tracer] = None,
+    view_cache: Optional[Any] = None,
 ) -> EdgeExecutionResult:
     """Evaluate an edge algorithm on every edge of ``graph``.
 
     An optional ``tracer`` observes one
     :meth:`~repro.instrumentation.Tracer.on_view` event per edge ball
     (``center`` is the edge's ``(u, v)`` node pair).
+
+    ``view_cache`` switches to the canonical-view memoization engine
+    (:func:`~repro.local_model.cache.run_edge_view_algorithm_cached`) —
+    a :class:`~repro.local_model.cache.ViewCache` to keep the memo
+    table, or ``True`` for a fresh per-run cache; results are identical.
     """
+    if view_cache is not None and view_cache is not False:
+        from .cache import run_edge_view_algorithm_cached
+
+        return run_edge_view_algorithm_cached(
+            graph,
+            algorithm,
+            ids=ids,
+            inputs=inputs,
+            randomness=randomness,
+            orientation=orientation,
+            tracer=tracer,
+            cache=None if view_cache is True else view_cache,
+        )
     tracer = effective_tracer(tracer)
     if tracer is not None:
         tracer.on_run_start("edge", algorithm.name, graph.m)

@@ -207,6 +207,7 @@ def run_view_algorithm(
     randomness: Optional[Sequence[Any]] = None,
     orientation: Optional[Orientation] = None,
     tracer: Optional[Tracer] = None,
+    view_cache: Optional[Any] = None,
 ) -> ExecutionResult:
     """Run a view-style T-round algorithm (Section 2.1's functional form).
 
@@ -214,7 +215,26 @@ def run_view_algorithm(
     is ``T = algorithm.radius`` by definition.  An optional ``tracer``
     observes one :meth:`~repro.instrumentation.Tracer.on_view` event per
     materialized ball (the view engine's bandwidth analogue).
+
+    ``view_cache`` switches to the canonical-view memoization engine
+    (:func:`~repro.local_model.cache.run_view_algorithm_cached`), which
+    evaluates each distinct view class once and produces the exact same
+    result: pass a :class:`~repro.local_model.cache.ViewCache` to keep
+    (and inspect) the memo table, or ``True`` for a fresh per-run cache.
     """
+    if view_cache is not None and view_cache is not False:
+        from .cache import ViewCache, run_view_algorithm_cached
+
+        return run_view_algorithm_cached(
+            graph,
+            algorithm,
+            ids=ids,
+            inputs=inputs,
+            randomness=randomness,
+            orientation=orientation,
+            tracer=tracer,
+            cache=None if view_cache is True else view_cache,
+        )
     tracer = effective_tracer(tracer)
     if tracer is not None:
         tracer.on_run_start("view", algorithm.name, graph.n)

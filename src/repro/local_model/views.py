@@ -22,7 +22,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..graphs.graph import Graph, edge_key
 from ..graphs.orientation import Orientation
 
-__all__ = ["View", "gather_view", "gather_edge_view"]
+__all__ = [
+    "View",
+    "gather_view",
+    "gather_edge_view",
+    "view_signature",
+    "edge_view_signature",
+]
 
 
 class View:
@@ -218,6 +224,127 @@ def _collect(
         randomness=None if randomness is None else [randomness[v] for v in order],
         edges=edges,
         originals=order,
+    )
+
+
+def _signature(
+    graph: Graph,
+    seeds: Sequence[int],
+    radius: int,
+    ids: Optional[Sequence[int]],
+    inputs: Optional[Sequence[Any]],
+    randomness: Optional[Sequence[Any]],
+    orientation: Optional[Orientation],
+    tag: str,
+) -> Tuple:
+    """Canonical ball signature without materializing a :class:`View`.
+
+    The signature encodes, per ball node in exploration order, the full
+    port row ``(local neighbor index or -1 if outside the ball)`` plus
+    any labels.  Port rows determine the induced edges *with* both port
+    numbers, the degrees (row length), and the distances (BFS from the
+    seeds is a function of the rows), so two balls have equal signatures
+    iff their :meth:`View.key` encodings are equal — the property the
+    view cache relies on, proven by the differential harness and the
+    property suite (``tests/test_view_cache_properties.py``).
+
+    This is the hot path of the cached engines: it avoids the
+    per-neighbor tuple allocations, edge sorting, and adjacency
+    construction that :func:`gather_view` pays for.
+    """
+    adj = graph.adjacency_rows()
+    order: List[int] = []
+    local: Dict[int, int] = {}
+    for s in seeds:
+        if s not in local:
+            local[s] = len(order)
+            order.append(s)
+    # Layer-synchronous BFS: the frontier IS the distance bookkeeping.
+    layer = order[:]
+    for _ in range(radius):
+        next_layer: List[int] = []
+        for v in layer:
+            for u in adj[v]:
+                if u not in local:
+                    local[u] = len(order)
+                    order.append(u)
+                    next_layer.append(u)
+        if not next_layer:
+            break
+        layer = next_layer
+    get = local.get
+    if orientation is None:
+        rows = tuple([tuple([get(u, -1) for u in adj[v]]) for v in order])
+    else:
+        labeled_rows: List[Tuple] = []
+        for v in order:
+            row: List[Any] = []
+            for u in adj[v]:
+                j = get(u, -1)
+                if j >= 0 and orientation.is_labeled(v, u):
+                    dim, sign = orientation.direction_at(v, u)
+                    row.append((j, dim, sign))
+                else:
+                    row.append(j)
+            labeled_rows.append(tuple(row))
+        rows = tuple(labeled_rows)
+    return (
+        tag,
+        radius,
+        rows,
+        None if ids is None else tuple(ids[v] for v in order),
+        None if inputs is None else tuple(inputs[v] for v in order),
+        None if randomness is None else tuple(randomness[v] for v in order),
+    )
+
+
+def view_signature(
+    graph: Graph,
+    v: int,
+    radius: int,
+    ids: Optional[Sequence[int]] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    randomness: Optional[Sequence[Any]] = None,
+    orientation: Optional[Orientation] = None,
+) -> Tuple:
+    """Hashable canonical key of ``B_radius(v)``.
+
+    Two nodes get equal signatures iff their :func:`gather_view` views
+    have equal :meth:`View.key` — i.e. iff they are indistinguishable
+    in the model.  Cheaper to compute than the view itself; this is the
+    cache key of :mod:`repro.local_model.cache`.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return _signature(
+        graph, (v,), radius, ids, inputs, randomness, orientation, "node"
+    )
+
+
+def edge_view_signature(
+    graph: Graph,
+    edge: Tuple[int, int],
+    radius: int,
+    ids: Optional[Sequence[int]] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    randomness: Optional[Sequence[Any]] = None,
+    orientation: Optional[Orientation] = None,
+) -> Tuple:
+    """Hashable canonical key of ``B_radius(u) ∪ B_radius(v)``.
+
+    Mirrors :func:`gather_edge_view` exactly, including the canonical
+    endpoint swap on oriented edges.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    u, v = edge
+    if not graph.has_edge(u, v):
+        raise ValueError(f"({u}, {v}) is not an edge")
+    if orientation is not None and orientation.is_labeled(u, v):
+        if orientation.sign_at(u, v) > 0:
+            u, v = v, u  # make local 0 the endpoint with the negative view
+    return _signature(
+        graph, (u, v), radius, ids, inputs, randomness, orientation, "edge"
     )
 
 

@@ -22,9 +22,10 @@ The module also ships the starter algorithms used by the experiments.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 from ..analysis.towers import TowerNumber
+from ..local_model.cache import KeyedCache
 from .ball import EdgeBall, OrientedBall
 
 __all__ = [
@@ -83,7 +84,9 @@ class NodeAlgorithm:
         self.fn = fn
         self.name = name
         self.ball = OrientedBall(k, t)
-        self._cache: Dict[Assignment, Any] = {}
+        # Same shape of cache as the view engines' ViewCache: the key is
+        # everything the node sees (here, the ball's random values).
+        self.cache = KeyedCache()
 
     @property
     def delta(self) -> int:
@@ -97,14 +100,13 @@ class NodeAlgorithm:
 
     def evaluate(self, assignment: Assignment) -> Any:
         """The output color for a full ball assignment (memoized)."""
-        color = self._cache.get(assignment)
-        if color is None:
+        color = self.cache.get(assignment)
+        if color is KeyedCache.MISS:
             if len(assignment) != self.ball.size:
                 raise ValueError(
                     f"assignment has {len(assignment)} values, ball has {self.ball.size}"
                 )
-            color = self.fn(assignment)
-            self._cache[assignment] = color
+            color = self.cache.store(assignment, self.fn(assignment))
         return color
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -141,7 +143,7 @@ class EdgeAlgorithm:
         self.fn = fn
         self.name = name
         self.balls = {dim: EdgeBall(k, r, (dim, 1)) for dim in range(k)}
-        self._cache: Dict[Tuple[int, Assignment], Any] = {}
+        self.cache = KeyedCache()
 
     @property
     def delta(self) -> int:
@@ -156,15 +158,14 @@ class EdgeAlgorithm:
     def evaluate(self, dim: int, assignment: Assignment) -> Any:
         """The output color of a dimension-``dim`` edge (memoized)."""
         key = (dim, assignment)
-        color = self._cache.get(key)
-        if color is None:
+        color = self.cache.get(key)
+        if color is KeyedCache.MISS:
             ball = self.balls[dim]
             if len(assignment) != ball.size:
                 raise ValueError(
                     f"assignment has {len(assignment)} values, edge ball has {ball.size}"
                 )
-            color = self.fn(dim, assignment)
-            self._cache[key] = color
+            color = self.cache.store(key, self.fn(dim, assignment))
         return color
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

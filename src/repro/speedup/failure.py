@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..local_model.cache import ball_assignment_key
 from .algorithms import EdgeAlgorithm, NodeAlgorithm
 from .ball import EdgeBall, OrientedBall, inverse
 
@@ -156,9 +157,10 @@ def node_local_failure(
     hits = 0
     for _ in range(samples):
         assignment = tuple(rng.randrange(values) for _ in range(outer.size))
-        center_color = alg.evaluate(tuple(assignment[i] for i in center_map))
+        center_color = alg.evaluate(ball_assignment_key(assignment, center_map))
         if all(
-            alg.evaluate(tuple(assignment[i] for i in neighbor_maps[d])) == center_color
+            alg.evaluate(ball_assignment_key(assignment, neighbor_maps[d]))
+            == center_color
             for d in directions
         ):
             hits += 1
@@ -258,7 +260,7 @@ def edge_local_failure(
             for sign in (1, -1):
                 dim_, emap = layouts[(dim, sign)]
                 colors.append(
-                    alg.evaluate(dim_, tuple(assignment[i] for i in emap))
+                    alg.evaluate(dim_, ball_assignment_key(assignment, emap))
                 )
             if colors[0] != colors[1]:
                 failed = False

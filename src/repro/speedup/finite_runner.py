@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
 from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.cache import ball_assignment_key
 from .algorithms import NodeAlgorithm
 from .ball import Word
 
@@ -65,7 +66,10 @@ def resolve_ball_tables(
     """Per-node tables: the graph node each ball word reaches.
 
     Precompute once and pass to :func:`run_node_algorithm_on_oriented_graph`
-    when running many trials on the same graph.
+    when running many trials on the same graph.  A node's cache key is
+    its table projected through the trial's random values —
+    :func:`~repro.local_model.cache.ball_assignment_key`, the same
+    keying function the canonical-view cache builds on.
 
     Raises
     ------
@@ -134,8 +138,9 @@ def run_node_algorithm_on_oriented_graph(
         ball_size = len(alg.ball.words)
         for v in graph.nodes():
             tracer.on_view(v, alg.t, ball_size, max(0, ball_size - 1))
+    before = alg.cache.stats.copy() if tracer is not None else None
     outputs: List[object] = [
-        alg.evaluate(tuple(values[u] for u in tables[v])) for v in graph.nodes()
+        alg.evaluate(ball_assignment_key(values, tables[v])) for v in graph.nodes()
     ]
     failing = [
         v
@@ -144,6 +149,9 @@ def run_node_algorithm_on_oriented_graph(
         and all(outputs[u] == outputs[v] for u in graph.neighbors(v))
     ]
     if tracer is not None:
+        # The algorithm's assignment cache outlives the run; report
+        # only the lookups this run contributed.
+        tracer.on_cache("finite", alg.cache.stats.delta(before).to_dict())
         tracer.on_run_end(alg.t)
     return FiniteRunResult(outputs=outputs, failing_nodes=failing)
 

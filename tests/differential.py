@@ -1,0 +1,227 @@
+"""Differential harness: the canonical-view cache must be *exact*.
+
+The cache (:mod:`repro.local_model.cache`) claims that keying on the
+canonical view signature and broadcasting one computed output per
+distinct view class is indistinguishable from running the algorithm at
+every node.  This module turns that claim into an executable oracle:
+
+* :func:`grid` enumerates a (algorithm × graph family × radius ×
+  labeling) case grid — id-driven, anonymous, and randomness-driven
+  rules over cycles, paths, trees, tori, stars, caterpillars, cliques,
+  and random regular graphs, at radii 0 through 3;
+* :func:`run_case` executes one case twice, directly and through a
+  fresh :class:`~repro.local_model.ViewCache`;
+* :func:`assert_identical` demands the two
+  :class:`~repro.local_model.ExecutionResult`s agree **bit for bit** —
+  outputs, halt rounds, and round count.
+
+``tests/test_differential.py`` parametrizes over the full grid;
+``python -m tests.differential`` (with ``src`` on the path) runs it
+standalone and prints a per-case table, which is handy when a cache
+change needs forensic rather than pass/fail output.
+
+Every case derives its labelings from ``sha256(case_id)``, so the grid
+is deterministic across processes, job counts, and Python hash seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.algorithms.view_rules import make_view_rule
+from repro.graphs import (
+    balanced_regular_tree,
+    caterpillar,
+    complete_graph,
+    cycle,
+    path,
+    random_regular_graph,
+    star,
+    toroidal_grid,
+)
+from repro.graphs.identifiers import random_permutation_ids
+from repro.local_model import EdgeViewAlgorithm, ViewCache
+from repro.local_model.edge_model import run_edge_view_algorithm
+from repro.local_model.network import run_view_algorithm
+
+__all__ = [
+    "Case",
+    "GRAPH_FAMILIES",
+    "grid",
+    "run_case",
+    "assert_identical",
+    "run_grid",
+]
+
+#: name -> zero-argument graph builder.  Sizes are chosen so the whole
+#: grid stays in CI-friendly territory while still covering high-girth,
+#: high-symmetry, irregular, and dense topologies.
+GRAPH_FAMILIES = {
+    "cycle24": lambda: cycle(24),
+    "path17": lambda: path(17),
+    "tree3d3": lambda: balanced_regular_tree(3, 3),
+    "torus5x6": lambda: toroidal_grid(5, 6),
+    "star8": lambda: star(8),
+    "caterpillar6x2": lambda: caterpillar(6, 2),
+    "clique7": lambda: complete_graph(7),
+    "rr20d4": lambda: random_regular_graph(20, 4, rng=random.Random(7)),
+}
+
+#: labeling -> the view rules it can drive (rules needing ids or
+#: randomness only appear under the labeling that provides them).
+_RULES_BY_LABELING = {
+    "anonymous": ("ball-signature", "degree-profile"),
+    "ids": ("local-max", "ball-signature", "degree-profile"),
+    "random": ("random-priority", "ball-signature", "degree-profile"),
+}
+
+RADII = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Case:
+    """One point of the differential grid."""
+
+    rule: str
+    graph: str
+    radius: int
+    labeling: str
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.rule}-r{self.radius}-{self.graph}-{self.labeling}"
+
+
+def grid() -> List[Case]:
+    """The full differential grid, in deterministic order."""
+    cases: List[Case] = []
+    for labeling, rules in _RULES_BY_LABELING.items():
+        for rule in rules:
+            for radius in RADII:
+                if radius < 1 and rule in ("local-max", "random-priority"):
+                    continue  # comparison rules need at least one neighbor
+                for graph in GRAPH_FAMILIES:
+                    cases.append(Case(rule, graph, radius, labeling))
+    return cases
+
+
+def _case_rng(case: Case) -> random.Random:
+    digest = hashlib.sha256(case.case_id.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _labelings(
+    case: Case, graph
+) -> Tuple[Optional[List[int]], Optional[List[int]]]:
+    """(ids, randomness) for the case, derived from its identity."""
+    rng = _case_rng(case)
+    if case.labeling == "ids":
+        return random_permutation_ids(graph, rng), None
+    if case.labeling == "random":
+        return None, [rng.getrandbits(12) for _ in graph.nodes()]
+    return None, None
+
+
+def run_case(case: Case) -> Tuple[Any, Any, Dict[str, Any]]:
+    """Run one case directly and through a fresh cache.
+
+    Returns ``(direct, cached, cache_stats_dict)``.
+    """
+    graph = GRAPH_FAMILIES[case.graph]()
+    rule = make_view_rule(case.rule, radius=case.radius)
+    ids, randomness = _labelings(case, graph)
+    direct = run_view_algorithm(graph, rule, ids=ids, randomness=randomness)
+    cache = ViewCache()
+    cached = run_view_algorithm(
+        graph, rule, ids=ids, randomness=randomness, view_cache=cache
+    )
+    return direct, cached, cache.stats.to_dict()
+
+
+def assert_identical(direct: Any, cached: Any, case: Case) -> None:
+    """Bit-identical or AssertionError naming the first divergence."""
+    assert cached.outputs == direct.outputs, (
+        f"{case.case_id}: outputs diverge at nodes "
+        f"{[v for v, (a, b) in enumerate(zip(direct.outputs, cached.outputs)) if a != b][:5]}"
+    )
+    assert cached.halt_rounds == direct.halt_rounds, (
+        f"{case.case_id}: halt rounds diverge"
+    )
+    assert cached.rounds == direct.rounds, (
+        f"{case.case_id}: round counts diverge "
+        f"({direct.rounds} direct vs {cached.rounds} cached)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Edge-model differential cases (B_t(e) = B_{t-1}(u) ∪ B_{t-1}(v))
+# ----------------------------------------------------------------------
+
+def edge_cases() -> List[Tuple[str, int]]:
+    """(graph family, rounds) pairs for the edge-engine differential."""
+    return [
+        (graph, rounds)
+        for rounds in (1, 2, 3)
+        for graph in ("cycle24", "tree3d3", "torus5x6", "rr20d4")
+    ]
+
+
+def run_edge_case(graph_name: str, rounds: int) -> Tuple[Any, Any]:
+    """One edge-view algorithm, cached vs direct, on one graph."""
+    graph = GRAPH_FAMILIES[graph_name]()
+    rng = random.Random(rounds * 1009 + len(graph_name))
+    randomness = [rng.getrandbits(12) for _ in graph.nodes()]
+    alg = EdgeViewAlgorithm(
+        rounds,
+        lambda view: (view.node_count, len(view.edges), min(view.randomness)),
+        name=f"edge-profile-t{rounds}",
+    )
+    direct = run_edge_view_algorithm(graph, alg, randomness=randomness)
+    cached = run_edge_view_algorithm(
+        graph, alg, randomness=randomness, view_cache=True
+    )
+    return direct, cached
+
+
+# ----------------------------------------------------------------------
+# Standalone runner
+# ----------------------------------------------------------------------
+
+def run_grid(verbose: bool = True) -> int:
+    """Run every case; return the number of failures."""
+    failures = 0
+    for case in grid():
+        direct, cached, stats = run_case(case)
+        try:
+            assert_identical(direct, cached, case)
+            status = "ok"
+        except AssertionError as exc:
+            failures += 1
+            status = f"FAIL ({exc})"
+        if verbose:
+            print(
+                f"  {case.case_id:<48s} classes={stats['distinct_classes']:>4d} "
+                f"hit={stats['hit_rate']:.2f}  {status}"
+            )
+    for graph_name, rounds in edge_cases():
+        direct, cached = run_edge_case(graph_name, rounds)
+        ok = cached.outputs == direct.outputs and cached.rounds == direct.rounds
+        failures += 0 if ok else 1
+        if verbose:
+            print(
+                f"  edge-t{rounds}-{graph_name:<32s} "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+    return failures
+
+
+if __name__ == "__main__":
+    import sys
+
+    n_failures = run_grid()
+    total = len(grid()) + len(edge_cases())
+    print(f"{total - n_failures}/{total} differential cases identical")
+    sys.exit(1 if n_failures else 0)

@@ -344,9 +344,11 @@ class TestCellRunner:
     def test_default_plan_covers_grid_and_reports(self):
         cells = default_plan(quick=True)
         kinds = {c.kind for c in cells}
-        assert kinds == {"local-algorithm", "report"}
+        assert kinds == {"local-algorithm", "view-algorithm", "report"}
         reports = {c.params["report"] for c in cells if c.kind == "report"}
         assert "table1" in reports and "logstar-sweep" in reports
+        rules = {c.params["rule"] for c in cells if c.kind == "view-algorithm"}
+        assert "ball-signature" in rules and "local-max" in rules
         ids = [c.cell_id for c in cells]
         assert len(set(ids)) == len(ids)
 
