@@ -1,0 +1,169 @@
+"""Benchmark regression guard for the engine backends.
+
+Measures direct vs cached vs sharded wall clock through the one
+:func:`repro.core.simulate` facade on large view cells (balanced
+regular trees, n >= 2000) and asserts
+
+* the headline claim: the **sharded** backend is **>= 2x** faster than
+  direct on the 4-regular radius-2 cells — the number
+  ``docs/ENGINE.md``'s backend matrix is sized by;
+* no regression: each config's sharded speedup stays within **2x** of
+  the committed baseline (the last entry of
+  ``benchmarks/BENCH_engine_backends.json``).  Speedup is a ratio of
+  two timings on the same machine, so the comparison is
+  machine-independent in a way raw wall-clock thresholds are not;
+* exactness, every repeat: all three backends produce bit-identical
+  ``SimReport.identity()`` projections;
+* determinism: distinct-class counts match the baseline *exactly* —
+  they depend only on the graph, never on the machine.
+
+Run with ``BENCH_UPDATE=1`` to append the current measurements as a new
+trajectory entry (and commit the json); plain runs never write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+import pytest
+
+from repro.algorithms.view_rules import make_view_rule
+from repro.core import SimRequest, simulate
+from repro.graphs import balanced_regular_tree
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_engine_backends.json"
+)
+
+#: The measured grid.  Keep keys stable: they index the json trajectory.
+CONFIGS = {
+    "tree-d4-ball-signature-r2": {
+        "delta": 4, "depth": 7, "rule": "ball-signature", "radius": 2,
+    },
+    "tree-d4-degree-profile-r2": {
+        "delta": 4, "depth": 7, "rule": "degree-profile", "radius": 2,
+    },
+    "tree-d6-ball-signature-r2": {
+        "delta": 6, "depth": 5, "rule": "ball-signature", "radius": 2,
+    },
+}
+
+#: Configs that must meet the headline >= 2x sharded-vs-direct bar.
+HEADLINE_MIN_SPEEDUP = 2.0
+HEADLINE_CONFIGS = ("tree-d4-ball-signature-r2", "tree-d4-degree-profile-r2")
+
+#: Regression tolerance against the committed baseline speedup.
+BASELINE_TOLERANCE = 2.0
+
+_REPEATS = 5
+
+
+def _measure(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Best-of-N timings per backend for one config."""
+    graph = balanced_regular_tree(config["delta"], config["depth"])
+    times: Dict[str, list] = {"direct": [], "cached": [], "sharded": []}
+    reports: Dict[str, Any] = {}
+    # Warmup outside the timed region: spawns the sharded backend's
+    # persistent pool and touches every code path once.
+    for backend in times:
+        simulate(
+            SimRequest(kind="view", graph=graph,
+                       algorithm=make_view_rule(config["rule"],
+                                                radius=config["radius"]),
+                       label="warmup"),
+            engine=backend,
+        )
+    for _ in range(_REPEATS):
+        for backend in times:
+            request = SimRequest(
+                kind="view", graph=graph,
+                algorithm=make_view_rule(config["rule"],
+                                         radius=config["radius"]),
+                label=f"bench-{config['rule']}",
+            )
+            start = time.perf_counter()
+            reports[backend] = simulate(request, engine=backend)
+            times[backend].append(time.perf_counter() - start)
+        # Exactness, every repeat.
+        reference = reports["direct"].identity()
+        assert reports["cached"].identity() == reference
+        assert reports["sharded"].identity() == reference
+    best = {backend: min(samples) for backend, samples in times.items()}
+    return {
+        "n": graph.n,
+        "direct_seconds": round(best["direct"], 6),
+        "cached_seconds": round(best["cached"], 6),
+        "sharded_seconds": round(best["sharded"], 6),
+        "sharded_speedup": round(best["direct"] / best["sharded"], 3),
+        "cached_speedup": round(best["direct"] / best["cached"], 3),
+        "distinct_classes": reports["sharded"].info["distinct_classes"],
+        "pooled": reports["sharded"].info["pooled"],
+    }
+
+
+def _load_bench() -> Dict[str, Any]:
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _baseline() -> Dict[str, Any]:
+    """The most recent committed trajectory entry."""
+    return _load_bench()["trajectory"][-1]["results"]
+
+
+@pytest.fixture(scope="module")
+def measurements() -> Dict[str, Dict[str, Any]]:
+    results = {name: _measure(config) for name, config in CONFIGS.items()}
+    if os.environ.get("BENCH_UPDATE") == "1":
+        if os.path.exists(BENCH_PATH):
+            data = _load_bench()
+        else:
+            data = {"schema": "repro.bench-engine-backends/1", "trajectory": []}
+        data["trajectory"].append(
+            {"entry": len(data["trajectory"]) + 1, "results": results}
+        )
+        with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def test_baseline_file_is_committed():
+    data = _load_bench()
+    assert data["schema"] == "repro.bench-engine-backends/1"
+    assert data["trajectory"], "baseline trajectory must not be empty"
+    assert set(_baseline()) == set(CONFIGS)
+
+
+@pytest.mark.parametrize("name", sorted(HEADLINE_CONFIGS))
+def test_headline_sharded_speedup(measurements, name):
+    result = measurements[name]
+    assert result["n"] >= 2000
+    assert result["sharded_speedup"] >= HEADLINE_MIN_SPEEDUP, (
+        f"{name}: sharded backend is only {result['sharded_speedup']}x "
+        f"faster than direct (need >= {HEADLINE_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_sharded_speedup_within_tolerance_of_baseline(measurements, name):
+    baseline = _baseline()[name]
+    current = measurements[name]
+    floor = baseline["sharded_speedup"] / BASELINE_TOLERANCE
+    assert current["sharded_speedup"] >= floor, (
+        f"{name}: sharded speedup regressed to "
+        f"{current['sharded_speedup']}x, more than {BASELINE_TOLERANCE}x "
+        f"below the committed {baseline['sharded_speedup']}x"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_class_counts_are_deterministic(measurements, name):
+    # Distinct classes are a function of the graph alone.
+    baseline = _baseline()[name]
+    current = measurements[name]
+    assert current["n"] == baseline["n"]
+    assert current["distinct_classes"] == baseline["distinct_classes"]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from ..core.registry import register_algorithm
 from ..local_model.algorithm import LocalAlgorithm
 from ..local_model.context import NodeContext
 
@@ -39,6 +40,8 @@ __all__ = [
 ]
 
 
+@register_algorithm("cole-vishkin-mp", kind="local", needs_ids=False,
+                    params=("color_bits",))
 class ColeVishkinMP(LocalAlgorithm):
     """Cole-Vishkin on a pseudoforest, as synchronous message passing.
 
@@ -93,6 +96,8 @@ class ColeVishkinMP(LocalAlgorithm):
             ctx.halt(ctx.state["color"])
 
 
+@register_algorithm("luby-mis", kind="local", needs_ids=True,
+                    verifier=("mis", {}))
 class LubyMIS(LocalAlgorithm):
     """Luby's randomized maximal independent set.
 
@@ -149,6 +154,7 @@ class LubyMIS(LocalAlgorithm):
             ctx.halt(True)
 
 
+@register_algorithm("greedy-sequential-coloring", kind="local", needs_ids=True)
 class GreedySequentialColoring(LocalAlgorithm):
     """Greedy (Delta+1)-coloring by identifier priority.
 
@@ -193,6 +199,8 @@ class GreedySequentialColoring(LocalAlgorithm):
             ctx.state["color"] = min(c for c in range(ctx.degree + 1) if c not in used)
 
 
+@register_algorithm("randomized-weak-coloring", kind="local", needs_ids=False,
+                    verifier=("weak-coloring", {"colors": 2}))
 class RandomizedWeakColoring(LocalAlgorithm):
     """Anonymous randomized weak 2-coloring by retry.
 
@@ -254,6 +262,8 @@ class RandomizedWeakColoring(LocalAlgorithm):
             ctx.state["color"] = ctx.rng.randrange(2)
 
 
+@register_algorithm("flood-leader-parity", kind="local", needs_ids=True,
+                    verifier=("proper-coloring", {"colors": 2}))
 class FloodLeaderParity(LocalAlgorithm):
     """Proper 2-coloring: flood the minimum identifier with distances.
 

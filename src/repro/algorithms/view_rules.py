@@ -22,8 +22,11 @@ All four are deterministic functions of the view, so a cached run
 bit-identical to the direct run — the invariant
 ``tests/test_differential.py`` checks over the full grid.
 
-``make_view_rule`` is the registry the experiment runner's
-``view-algorithm`` cells resolve names through.
+Each rule is registered in :data:`repro.core.registry.ALGORITHMS` with
+``kind="view"`` and a ``needs`` metadata slot ("ids" / "randomness" /
+"none"), which is how the experiment runner's ``view-algorithm`` cells
+resolve names; :func:`make_view_rule` is a thin compatibility wrapper
+over that registry.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from __future__ import annotations
 import hashlib
 from typing import Tuple
 
+from ..core.registry import ALGORITHMS, register_algorithm
 from ..local_model.algorithm import ViewAlgorithm
 from ..local_model.views import View
 
@@ -44,6 +48,7 @@ __all__ = [
 ]
 
 
+@register_algorithm("local-max", kind="view", needs="ids")
 class LocalMaximumRule(ViewAlgorithm):
     """Output 1 iff the center's identifier beats everyone in its ball.
 
@@ -71,6 +76,7 @@ class LocalMaximumRule(ViewAlgorithm):
         )
 
 
+@register_algorithm("random-priority", kind="view", needs="randomness")
 class RandomPriorityRule(ViewAlgorithm):
     """Output 1 iff the center's random value strictly beats its ball.
 
@@ -101,6 +107,7 @@ class RandomPriorityRule(ViewAlgorithm):
         )
 
 
+@register_algorithm("ball-signature", kind="view", needs="none")
 class BallSignatureColoring(ViewAlgorithm):
     """Color the center by a stable digest of its whole view.
 
@@ -127,6 +134,7 @@ class BallSignatureColoring(ViewAlgorithm):
         return int.from_bytes(digest[:8], "big") % self.palette
 
 
+@register_algorithm("degree-profile", kind="view", needs="none")
 class DegreeProfileRule(ViewAlgorithm):
     """Output the ball's degree histogram, layered by distance.
 
@@ -162,16 +170,10 @@ VIEW_RULE_NAMES = (
 def make_view_rule(name: str, radius: int = 2) -> ViewAlgorithm:
     """Build a registered view rule at the given radius.
 
-    Returns the rule plus nothing else — whether it needs ``ids`` or
-    ``randomness`` is discoverable from its class (see
-    :data:`VIEW_RULE_NAMES` users in ``repro.experiments.runner``).
+    Compatibility wrapper over :data:`repro.core.registry.ALGORITHMS`
+    (entries with ``kind="view"``); whether a rule needs ``ids`` or
+    ``randomness`` is the entry's ``needs`` metadata.
     """
-    if name == "local-max":
-        return LocalMaximumRule(radius)
-    if name == "random-priority":
-        return RandomPriorityRule(radius)
-    if name == "ball-signature":
-        return BallSignatureColoring(radius)
-    if name == "degree-profile":
-        return DegreeProfileRule(radius)
-    raise ValueError(f"unknown view rule {name!r} (have {VIEW_RULE_NAMES})")
+    if name not in VIEW_RULE_NAMES:
+        raise ValueError(f"unknown view rule {name!r} (have {VIEW_RULE_NAMES})")
+    return ALGORITHMS.create(name, radius=radius)

@@ -1,0 +1,146 @@
+"""The cached backend: one evaluation per canonical view class.
+
+Wraps PR 2's canonical-view memoization
+(:mod:`repro.local_model.cache`) behind the engine seam: ``view`` and
+``edge`` requests key every ball by its canonical signature
+(:func:`~repro.local_model.views.view_signature` /
+:func:`~repro.local_model.views.edge_view_signature`), evaluate the
+algorithm once per distinct class, and broadcast the output — exactly
+the semantics of ``run_view_algorithm_cached`` /
+``run_edge_view_algorithm_cached``, which are now adapters over this
+class.
+
+``local`` requests pass through to the direct loop (a synchronous
+message-passing round has no view classes to collapse), and ``finite``
+requests are already memoized by the algorithm's own assignment cache
+(:class:`~repro.speedup.algorithms.NodeAlgorithm`), so both fall back
+to :class:`~repro.core.direct.DirectEngine` semantics unchanged.
+
+The exactness contract (cached == direct, bit for bit) rides on the
+signature being a perfect canonical key; see
+``docs/PERFORMANCE.md`` and ``tests/test_view_cache_properties.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..graphs.graph import Edge, edge_key
+from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.cache import KeyedCache, ViewCache
+from ..local_model.views import (
+    edge_view_signature,
+    gather_edge_view,
+    gather_view,
+    view_signature,
+)
+from .direct import DirectEngine
+from .engine import SimReport, SimRequest
+
+__all__ = ["CachedEngine"]
+
+_MISS = KeyedCache.MISS
+
+
+class CachedEngine(DirectEngine):
+    """Memoizing backend over a :class:`~repro.local_model.cache.ViewCache`.
+
+    Parameters
+    ----------
+    cache:
+        The memo table to use (and keep) across runs; ``None`` creates
+        a private one at construction.  The algorithm identity is not
+        part of the cache key — use one engine (or one cache) per
+        algorithm, exactly as with :class:`ViewCache` itself.
+    """
+
+    name = "cached"
+
+    def __init__(self, cache: Optional[ViewCache] = None):
+        self.cache = cache if cache is not None else ViewCache()
+
+    def _run_view(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        graph, algorithm, cache = request.graph, request.algorithm, self.cache
+        tracer = effective_tracer(tracer)
+        radius = algorithm.radius
+        if tracer is not None:
+            tracer.on_run_start("view", algorithm.name, graph.n)
+        before = cache.stats.copy() if tracer is not None else None
+        outputs: List[Any] = []
+        append = outputs.append
+        get, store, output = cache.get, cache.store, algorithm.output
+        ids, inputs = request.ids, request.inputs
+        randomness, orientation = request.randomness, request.orientation
+        for v in graph.nodes():
+            key = view_signature(
+                graph, v, radius,
+                ids=ids, inputs=inputs, randomness=randomness,
+                orientation=orientation,
+            )
+            out = get(key)
+            if out is _MISS:
+                view = gather_view(
+                    graph, v, radius,
+                    ids=ids, inputs=inputs, randomness=randomness,
+                    orientation=orientation,
+                )
+                if tracer is not None:
+                    tracer.on_view(v, view.radius, view.node_count, len(view.edges))
+                out = store(key, output(view))
+            append(out)
+        if tracer is not None:
+            tracer.on_cache("view", cache.stats.delta(before).to_dict())
+            tracer.on_run_end(radius)
+        return SimReport(
+            kind="view",
+            outputs=outputs,
+            halt_rounds=[radius] * graph.n,
+            rounds=radius,
+            backend=self.name,
+            info={"distinct_classes": len(cache)},
+        )
+
+    def _run_edge(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        graph, algorithm, cache = request.graph, request.algorithm, self.cache
+        tracer = effective_tracer(tracer)
+        radius = algorithm.view_radius()
+        if tracer is not None:
+            tracer.on_run_start("edge", algorithm.name, graph.m)
+        before = cache.stats.copy() if tracer is not None else None
+        outputs: Dict[Edge, Any] = {}
+        get, store, output_fn = cache.get, cache.store, algorithm.output_fn
+        ids, inputs = request.ids, request.inputs
+        randomness, orientation = request.randomness, request.orientation
+        for u, v in graph.edges():
+            key = edge_view_signature(
+                graph, (u, v), radius,
+                ids=ids, inputs=inputs, randomness=randomness,
+                orientation=orientation,
+            )
+            out = get(key)
+            if out is _MISS:
+                view = gather_edge_view(
+                    graph, (u, v), radius,
+                    ids=ids, inputs=inputs, randomness=randomness,
+                    orientation=orientation,
+                )
+                if tracer is not None:
+                    tracer.on_view(
+                        (u, v), view.radius, view.node_count, len(view.edges)
+                    )
+                out = store(key, output_fn(view))
+            outputs[edge_key(u, v)] = out
+        if tracer is not None:
+            tracer.on_cache("edge", cache.stats.delta(before).to_dict())
+            tracer.on_run_end(algorithm.rounds)
+        return SimReport(
+            kind="edge",
+            outputs=outputs,
+            rounds=algorithm.rounds,
+            backend=self.name,
+            info={"distinct_classes": len(cache)},
+        )

@@ -1,0 +1,296 @@
+"""The Engine seam: one request/report pair, interchangeable backends.
+
+Every execution model in the repository — message passing
+(:func:`~repro.local_model.network.run_local`), node views
+(:func:`~repro.local_model.network.run_view_algorithm`), edge views
+(:func:`~repro.local_model.edge_model.run_edge_view_algorithm`), and
+the oriented finite runner
+(:func:`~repro.speedup.finite_runner.run_node_algorithm_on_oriented_graph`)
+— is one *kind* of :class:`SimRequest`, and every outcome is one
+:class:`SimReport`.  An :class:`Engine` maps requests to reports; the
+three backends differ only in *how*:
+
+==========================================  =============================
+:class:`~repro.core.direct.DirectEngine`    evaluate every entity
+:class:`~repro.core.cached.CachedEngine`    evaluate once per canonical
+                                            view class (memo table)
+:class:`~repro.core.sharded.ShardedEngine`  dedupe view classes, fan the
+                                            class evaluations over a
+                                            process pool
+==========================================  =============================
+
+The exactness contract is absolute: for the same request, all three
+backends produce reports with equal :meth:`SimReport.identity` — bit
+for bit, proven over the full differential grid
+(``tests/test_differential.py``, ``tests/test_engine_backends.py``).
+Backend choice is a pure performance knob.
+
+:func:`simulate` is the facade the rest of the system calls; the legacy
+entry points are thin adapters over it (their signatures and semantics
+are unchanged).  One :class:`~repro.instrumentation.Tracer` threads
+through every backend the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..instrumentation.tracer import Tracer
+
+__all__ = [
+    "KINDS",
+    "SimRequest",
+    "SimReport",
+    "Engine",
+    "derive_seed",
+    "resolve_engine",
+    "simulate",
+    "simulate_many",
+]
+
+#: The four execution models the seam covers.
+KINDS = ("local", "view", "edge", "finite")
+
+
+def derive_seed(base_seed: int, label: str) -> int:
+    """Deterministic 64-bit seed for one unit of work.
+
+    The one seed-derivation scheme in the system:
+    ``sha256(f"{base_seed}:{label}")``, shared by the experiment
+    runner's cells (its ``derive_cell_seed`` delegates here) and the
+    sharded engine's per-shard seeds.  Stable across processes, job
+    counts, and plan composition.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class SimRequest:
+    """One simulation, fully described.
+
+    ``kind`` selects the execution model; the remaining fields are the
+    union of what the four models accept (unused fields are ignored by
+    the other kinds, mirroring the legacy signatures):
+
+    * ``"local"`` — ``algorithm`` is a
+      :class:`~repro.local_model.algorithm.LocalAlgorithm`; honors
+      ``rng`` / ``seed`` / ``deterministic`` / ``max_rounds``.
+    * ``"view"`` — ``algorithm`` is a
+      :class:`~repro.local_model.algorithm.ViewAlgorithm`.
+    * ``"edge"`` — ``algorithm`` is an
+      :class:`~repro.local_model.edge_model.EdgeViewAlgorithm`.
+    * ``"finite"`` — ``algorithm`` is a
+      :class:`~repro.speedup.algorithms.NodeAlgorithm`; requires
+      ``values`` (per-node random words), honors ``tables``
+      (precomputed ball tables) and ``orientation``.
+
+    ``seed`` is the backend-independent alternative to ``rng``: when set
+    (and ``rng`` is not), every backend constructs
+    ``random.Random(derive_seed(seed, label))``, so results cannot
+    depend on which backend ran.  ``label`` also names the request in
+    shard-seed derivation and progress events.
+    """
+
+    kind: str
+    graph: Any
+    algorithm: Any
+    ids: Optional[Sequence[int]] = None
+    inputs: Optional[Sequence[Any]] = None
+    randomness: Optional[Sequence[Any]] = None
+    orientation: Optional[Any] = None
+    # -- "local" kind ---------------------------------------------------
+    rng: Optional[random.Random] = None
+    seed: Optional[int] = None
+    deterministic: bool = False
+    max_rounds: Optional[int] = None
+    # -- "finite" kind --------------------------------------------------
+    values: Optional[Sequence[int]] = None
+    tables: Optional[List[List[int]]] = None
+    # -- bookkeeping ----------------------------------------------------
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r} (have {KINDS})")
+
+    def resolved_rng(self) -> random.Random:
+        """The run's master RNG, identical across backends.
+
+        Priority: an explicit ``rng``; else ``seed`` through
+        :func:`derive_seed`; else the legacy default ``Random(0)``.
+        """
+        if self.rng is not None:
+            return self.rng
+        if self.seed is not None:
+            return random.Random(derive_seed(self.seed, self.label))
+        return random.Random(0)
+
+
+@dataclass
+class SimReport:
+    """One simulation's outcome, backend-independent where it counts.
+
+    ``outputs`` is a per-node list for ``local`` / ``view`` / ``finite``
+    requests and an ``{edge: label}`` dict for ``edge`` requests.
+    ``halt_rounds`` and ``failing_nodes`` are populated by the kinds
+    that define them (``None`` elsewhere).  :meth:`identity` is the
+    comparable core — what the differential suite asserts equal across
+    backends; ``backend`` and ``info`` are diagnostics and may
+    legitimately differ.
+    """
+
+    kind: str
+    outputs: Any
+    rounds: int
+    halt_rounds: Optional[List[Optional[int]]] = None
+    failing_nodes: Optional[List[int]] = None
+    backend: str = ""
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def identity(self) -> Tuple[Any, ...]:
+        """The bit-comparable result: everything except diagnostics."""
+        return (
+            self.kind,
+            self.outputs,
+            self.halt_rounds,
+            self.rounds,
+            self.failing_nodes,
+        )
+
+    def all_halted(self) -> bool:
+        """Whether every node halted (vacuously true for view kinds)."""
+        if self.halt_rounds is None:
+            return True
+        return all(r is not None for r in self.halt_rounds)
+
+    # -- legacy adapters ------------------------------------------------
+    def to_execution_result(self) -> Any:
+        """As a legacy :class:`~repro.local_model.network.ExecutionResult`."""
+        from ..local_model.network import ExecutionResult
+
+        if self.kind not in ("local", "view"):
+            raise ValueError(f"{self.kind!r} reports have no ExecutionResult form")
+        return ExecutionResult(
+            outputs=self.outputs,
+            halt_rounds=self.halt_rounds,
+            rounds=self.rounds,
+        )
+
+    def to_edge_result(self) -> Any:
+        """As a legacy :class:`~repro.local_model.edge_model.EdgeExecutionResult`."""
+        from ..local_model.edge_model import EdgeExecutionResult
+
+        if self.kind != "edge":
+            raise ValueError(f"{self.kind!r} reports have no EdgeExecutionResult form")
+        return EdgeExecutionResult(outputs=self.outputs, rounds=self.rounds)
+
+    def to_finite_result(self) -> Any:
+        """As a legacy :class:`~repro.speedup.finite_runner.FiniteRunResult`."""
+        from ..speedup.finite_runner import FiniteRunResult
+
+        if self.kind != "finite":
+            raise ValueError(f"{self.kind!r} reports have no FiniteRunResult form")
+        return FiniteRunResult(
+            outputs=self.outputs, failing_nodes=self.failing_nodes
+        )
+
+
+class Engine:
+    """The backend interface: map :class:`SimRequest` -> :class:`SimReport`.
+
+    Subclasses implement :meth:`run`; :meth:`run_many` has a serial
+    default that backends with real fan-out (the sharded engine)
+    override.  Engines are stateless unless documented otherwise
+    (the cached engine owns a memo table).
+    """
+
+    name = "engine"
+
+    def run(self, request: SimRequest, tracer: Optional[Tracer] = None) -> SimReport:
+        """Execute one request."""
+        raise NotImplementedError
+
+    def run_many(
+        self,
+        requests: Sequence[SimRequest],
+        tracer: Optional[Tracer] = None,
+    ) -> List[SimReport]:
+        """Execute independent requests; order of results matches input."""
+        return [self.run(request, tracer=tracer) for request in requests]
+
+
+#: Engine names accepted by :func:`resolve_engine` / :func:`simulate`.
+ENGINE_NAMES = ("direct", "cached", "sharded")
+
+
+#: Default instances for the *stateless-by-name* backends.  ``direct``
+#: holds no state at all; ``sharded`` holds only its worker pool, which
+#: is exactly what memoizing amortizes (spawning processes per run
+#: would eat the dedup win).  ``cached`` is deliberately NOT memoized:
+#: its ``ViewCache`` must never be shared across algorithms, so every
+#: by-name resolution gets a fresh one.
+_DEFAULT_ENGINES: Dict[str, "Engine"] = {}
+
+
+def resolve_engine(engine: Union[None, str, Engine]) -> Engine:
+    """Normalize an engine argument to an :class:`Engine` instance.
+
+    ``None`` means the direct backend; strings name a backend
+    (``"direct"`` / ``"cached"`` / ``"sharded"``) constructed with
+    defaults; instances pass through.  Imported lazily so the facade
+    costs nothing for callers that never shard.  By-name ``direct`` and
+    ``sharded`` resolve to shared default instances (the sharded
+    default keeps its process pool warm across calls); ``cached``
+    constructs a fresh engine per call because a ``ViewCache`` is only
+    valid for one algorithm.
+    """
+    if engine is None:
+        engine = "direct"
+    if isinstance(engine, Engine):
+        return engine
+    if engine == "cached":
+        from .cached import CachedEngine
+
+        return CachedEngine()
+    if engine in _DEFAULT_ENGINES:
+        return _DEFAULT_ENGINES[engine]
+    if engine == "direct":
+        from .direct import DirectEngine
+
+        return _DEFAULT_ENGINES.setdefault("direct", DirectEngine())
+    if engine == "sharded":
+        from .sharded import ShardedEngine
+
+        return _DEFAULT_ENGINES.setdefault("sharded", ShardedEngine())
+    raise ValueError(f"unknown engine {engine!r} (have {ENGINE_NAMES})")
+
+
+def simulate(
+    request: SimRequest,
+    engine: Union[None, str, Engine] = None,
+    tracer: Optional[Tracer] = None,
+) -> SimReport:
+    """Run one request on the chosen backend (default: direct).
+
+    The one entry point every call site shares.  ``tracer`` threads
+    through unchanged — instrumented runs produce the exact same report
+    as uninstrumented ones, on every backend.
+    """
+    return resolve_engine(engine).run(request, tracer=tracer)
+
+
+def simulate_many(
+    requests: Sequence[SimRequest],
+    engine: Union[None, str, Engine] = None,
+    tracer: Optional[Tracer] = None,
+) -> List[SimReport]:
+    """Run independent requests on the chosen backend, preserving order.
+
+    The sharded backend fans the batch over its process pool (one shard
+    per request group); direct and cached run serially.
+    """
+    return resolve_engine(engine).run_many(requests, tracer=tracer)

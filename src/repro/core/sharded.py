@@ -1,0 +1,347 @@
+"""The sharded backend: dedupe view classes, fan evaluations over a pool.
+
+The sharded engine combines the cached engine's insight (on symmetric
+graph families, almost all balls are pairwise isomorphic) with process
+fan-out:
+
+1. the parent process keys every node (edge) by its canonical view
+   signature — the same perfect key the cached engine uses;
+2. the *distinct* view classes are split into shards, each with a
+   sha256-derived seed
+   (:func:`~repro.core.engine.derive_seed`, the experiment runner's
+   ``derive_cell_seed`` scheme);
+3. a :mod:`multiprocessing` pool materializes one representative ball
+   per class and evaluates the algorithm on it;
+4. the parent broadcasts each class's output to every member.
+
+Work drops from ``n`` evaluations to ``distinct classes`` evaluations,
+and those evaluations parallelize — so the engine beats the direct
+backend even on a single core (it does strictly less work), and scales
+with cores when they exist.  ``benchmarks/BENCH_engine_backends.json``
+tracks the measured ratios.
+
+Degradation is explicit, never silent in the report: algorithms or
+labelings that cannot cross a process boundary (lambdas, closures), and
+runs already inside a daemonic worker (the experiment runner's
+``--jobs`` pool cannot have children), are evaluated in-process with
+the same dedup-and-broadcast plan, and the report's ``info["pooled"]``
+says which path ran.  ``local`` requests
+(round-synchronous message passing) and ``finite`` requests (already
+memoized by the algorithm's own assignment cache) fall back to direct
+semantics.  Results are bit-identical to the other backends in every
+case — the differential suite proves it.
+
+:meth:`ShardedEngine.run_many` is the second axis the paper's workload
+offers: *independent* requests (cells, graphs) fan out over the pool
+whole, one report each, order preserved.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Edge, edge_key
+from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.cache import CacheStats
+from ..local_model.views import (
+    edge_view_signature,
+    gather_edge_view,
+    gather_view,
+    view_signature,
+)
+from .direct import DirectEngine
+from .engine import SimReport, SimRequest, derive_seed, resolve_engine
+
+__all__ = ["ShardedEngine"]
+
+
+def _default_shards() -> int:
+    """Pool width: every core, but at least two shards (fan-out exists
+    even on one core, where the dedup — not parallelism — is the win)."""
+    return max(2, multiprocessing.cpu_count())
+
+
+def _split(items: Sequence[Any], shards: int) -> List[Sequence[Any]]:
+    """At most ``shards`` contiguous, non-empty, balanced chunks."""
+    shards = max(1, min(shards, len(items)))
+    size, extra = divmod(len(items), shards)
+    chunks, start = [], 0
+    for i in range(shards):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def _picklable(*objects: Any) -> bool:
+    """Whether every object can cross a process boundary."""
+    try:
+        pickle.dumps(objects)
+    except Exception:
+        return False
+    return True
+
+
+def _can_fork() -> bool:
+    """Whether this process may spawn pool workers.
+
+    Daemonic processes (e.g. the experiment runner's ``--jobs`` workers)
+    cannot have children; the engine then runs its dedup-and-broadcast
+    plan in-process instead of crashing.
+    """
+    return not multiprocessing.current_process().daemon
+
+
+# -- module-level workers (Pool requires importable callables) ----------
+
+def _eval_view_chunk(payload: Tuple[Any, ...]) -> List[Any]:
+    graph, algorithm, ids, inputs, randomness, orientation, reps = payload
+    radius = algorithm.radius
+    return [
+        algorithm.output(
+            gather_view(
+                graph, v, radius,
+                ids=ids, inputs=inputs, randomness=randomness,
+                orientation=orientation,
+            )
+        )
+        for v in reps
+    ]
+
+
+def _eval_edge_chunk(payload: Tuple[Any, ...]) -> List[Any]:
+    graph, algorithm, ids, inputs, randomness, orientation, reps = payload
+    radius = algorithm.view_radius()
+    return [
+        algorithm.output_fn(
+            gather_edge_view(
+                graph, edge, radius,
+                ids=ids, inputs=inputs, randomness=randomness,
+                orientation=orientation,
+            )
+        )
+        for edge in reps
+    ]
+
+
+def _run_request_chunk(payload: Tuple[str, Sequence[SimRequest]]) -> List[SimReport]:
+    inner, requests = payload
+    engine = resolve_engine(inner)
+    return [engine.run(request) for request in requests]
+
+
+class ShardedEngine(DirectEngine):
+    """Process-pool backend over view-equivalence classes and requests.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (and pool processes); default
+        ``max(2, cpu_count())``.
+    base_seed:
+        Base of the per-shard seed derivation
+        ``derive_seed(base_seed, f"{label}:{kind}:shard-{i}")``; a
+        request's own ``seed`` takes precedence as the base.
+    inner:
+        Backend run *inside* each worker for :meth:`run_many`
+        (``"direct"`` or ``"cached"``).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        base_seed: int = 0,
+        inner: str = "direct",
+    ):
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards or _default_shards()
+        self.base_seed = base_seed
+        self.inner = inner
+        self._pool: Optional[Any] = None
+
+    # -- pool lifecycle --------------------------------------------------
+    def _get_pool(self):
+        """The persistent worker pool, spawned on first pooled run.
+
+        Keeping the pool warm across runs matters: on the graphs the
+        benchmarks measure, a fresh pool per run costs more than the
+        dedup saves.  Workers are daemonic, so an unexited interpreter
+        never hangs on them; :meth:`close` releases them eagerly.
+        """
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.shards)
+            # Tear down before interpreter shutdown: Pool.__del__ during
+            # teardown races module finalization and logs spurious noise.
+            atexit.register(self.close)
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (a later run respawns it)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- shared plumbing ------------------------------------------------
+    def _shard_seeds(self, request: SimRequest, count: int) -> List[int]:
+        base = request.seed if request.seed is not None else self.base_seed
+        return [
+            derive_seed(base, f"{request.label}:{request.kind}:shard-{i}")
+            for i in range(count)
+        ]
+
+    def _evaluate_shards(
+        self,
+        request: SimRequest,
+        reps: Sequence[Any],
+        worker: Callable[[Tuple[Any, ...]], List[Any]],
+        tracer: Optional[Tracer],
+    ) -> Tuple[List[Any], bool]:
+        """Evaluate one representative per class, pooled when possible.
+
+        Returns ``(outputs_in_rep_order, pooled)``.
+        """
+        chunks = _split(list(reps), self.shards)
+        seeds = self._shard_seeds(request, len(chunks))
+        if tracer is not None:
+            for i, (chunk, seed) in enumerate(zip(chunks, seeds)):
+                tracer.on_shard(i, len(chunk), seed)
+        shared = (
+            request.graph,
+            request.algorithm,
+            request.ids,
+            request.inputs,
+            request.randomness,
+            request.orientation,
+        )
+        payloads = [shared + (chunk,) for chunk in chunks]
+        pooled = len(chunks) > 1 and _can_fork() and _picklable(shared)
+        if pooled:
+            chunk_outputs = self._get_pool().map(worker, payloads)
+        else:
+            chunk_outputs = [worker(payload) for payload in payloads]
+        return [out for chunk in chunk_outputs for out in chunk], pooled
+
+    @staticmethod
+    def _dedup_stats(lookups: int, distinct: int) -> Dict[str, Any]:
+        return CacheStats(
+            lookups=lookups,
+            hits=lookups - distinct,
+            misses=distinct,
+            distinct_classes=distinct,
+        ).to_dict()
+
+    # -- "view": shard the distinct node-ball classes -------------------
+    def _run_view(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        graph, algorithm = request.graph, request.algorithm
+        tracer = effective_tracer(tracer)
+        radius = algorithm.radius
+        if tracer is not None:
+            tracer.on_run_start("view", algorithm.name, graph.n)
+        keys: List[Any] = []
+        classes: Dict[Any, int] = {}
+        reps: List[int] = []
+        for v in graph.nodes():
+            key = view_signature(
+                graph, v, radius,
+                ids=request.ids, inputs=request.inputs,
+                randomness=request.randomness, orientation=request.orientation,
+            )
+            keys.append(key)
+            if key not in classes:
+                classes[key] = len(reps)
+                reps.append(v)
+        class_outputs, pooled = self._evaluate_shards(
+            request, reps, _eval_view_chunk, tracer
+        )
+        outputs = [class_outputs[classes[key]] for key in keys]
+        if tracer is not None:
+            tracer.on_cache("view", self._dedup_stats(graph.n, len(reps)))
+            tracer.on_run_end(radius)
+        return SimReport(
+            kind="view",
+            outputs=outputs,
+            halt_rounds=[radius] * graph.n,
+            rounds=radius,
+            backend=self.name,
+            info={"distinct_classes": len(reps), "pooled": pooled},
+        )
+
+    # -- "edge": shard the distinct edge-ball classes -------------------
+    def _run_edge(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        graph, algorithm = request.graph, request.algorithm
+        tracer = effective_tracer(tracer)
+        radius = algorithm.view_radius()
+        if tracer is not None:
+            tracer.on_run_start("edge", algorithm.name, graph.m)
+        edges = list(graph.edges())
+        keys = []
+        classes: Dict[Any, int] = {}
+        reps: List[Tuple[int, int]] = []
+        for u, v in edges:
+            key = edge_view_signature(
+                graph, (u, v), radius,
+                ids=request.ids, inputs=request.inputs,
+                randomness=request.randomness, orientation=request.orientation,
+            )
+            keys.append(key)
+            if key not in classes:
+                classes[key] = len(reps)
+                reps.append((u, v))
+        class_outputs, pooled = self._evaluate_shards(
+            request, reps, _eval_edge_chunk, tracer
+        )
+        outputs: Dict[Edge, Any] = {
+            edge_key(u, v): class_outputs[classes[key]]
+            for (u, v), key in zip(edges, keys)
+        }
+        if tracer is not None:
+            tracer.on_cache("edge", self._dedup_stats(len(edges), len(reps)))
+            tracer.on_run_end(algorithm.rounds)
+        return SimReport(
+            kind="edge",
+            outputs=outputs,
+            rounds=algorithm.rounds,
+            backend=self.name,
+            info={"distinct_classes": len(reps), "pooled": pooled},
+        )
+
+    # -- batches: shard whole independent requests ----------------------
+    def run_many(
+        self,
+        requests: Sequence[SimRequest],
+        tracer: Optional[Tracer] = None,
+    ) -> List[SimReport]:
+        """Fan independent requests over the pool, order preserved.
+
+        Each shard runs its requests through the ``inner`` backend in a
+        worker process.  Requests that cannot be pickled (lambdas in
+        algorithms, exotic labelings) force the serial in-process path
+        for the whole batch — correctness first, reported via the
+        tracer's shard events either way.
+        """
+        tracer = effective_tracer(tracer)
+        requests = list(requests)
+        if not requests:
+            return []
+        chunks = _split(requests, self.shards)
+        if tracer is not None:
+            for i, chunk in enumerate(chunks):
+                seed = derive_seed(self.base_seed, f"run-many:shard-{i}")
+                tracer.on_shard(i, len(chunk), seed)
+        if len(chunks) > 1 and _can_fork() and _picklable(requests):
+            payloads = [(self.inner, chunk) for chunk in chunks]
+            chunk_reports = self._get_pool().map(_run_request_chunk, payloads)
+            return [report for chunk in chunk_reports for report in chunk]
+        engine = resolve_engine(self.inner)
+        return [engine.run(request) for request in requests]

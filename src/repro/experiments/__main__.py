@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --jobs 4            # parallel cells
     python -m repro.experiments --jobs 4 --artifacts out/   # + JSON artifacts
     python -m repro.experiments --view-cache --quick  # cached-vs-direct cells
+    python -m repro.experiments --engine sharded --quick  # backend differential
+    python -m repro.experiments --list              # registered components
 
 Regenerates Table 1, the log* sweep, Figures 1-2 (speedup lemmas), the
 Theorem 4 ladder, the Theorem 5 classification, Lemma 2, Claim 10,
@@ -79,11 +81,85 @@ def main(argv=None) -> int:
         "each cell a cached-vs-direct differential check (implies the cell "
         "runner; cache hit rates land in the artifacts)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("direct", "cached", "sharded"),
+        default=None,
+        metavar="NAME",
+        help="run view-rule cells through the named repro.core backend and "
+        "make each cell a backend-vs-direct differential check (implies "
+        "the cell runner; direct/cached/sharded)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_components",
+        help="list every registered algorithm, graph family, LCL problem, "
+        "report spec, and engine backend, then exit",
+    )
     args = parser.parse_args(argv)
 
-    if args.jobs is not None or args.artifacts is not None or args.view_cache:
+    if args.list_components:
+        return _list_components()
+    if (
+        args.jobs is not None
+        or args.artifacts is not None
+        or args.view_cache
+        or args.engine is not None
+    ):
         return _run_parallel(args)
     return _run_serial_report(args)
+
+
+def _list_components() -> int:
+    """Print the registries — the honest answer to "what can this run?"."""
+    from ..core import (
+        ALGORITHMS,
+        ENGINE_NAMES,
+        GRAPH_FAMILIES,
+        PROBLEMS,
+        REPORTS,
+        ensure_builtins,
+    )
+
+    ensure_builtins()
+
+    def section(title: str, rows) -> None:
+        print(f"{title}:")
+        for name, annotation in rows:
+            print(f"  {name:<28s} {annotation}")
+        print()
+
+    section(
+        "algorithms",
+        (
+            (
+                e.name,
+                f"[{e.metadata.get('kind', '?')}] {e.description}",
+            )
+            for e in ALGORITHMS.entries()
+        ),
+    )
+    section(
+        "graph families",
+        (
+            (e.name, f"params: {', '.join(e.metadata.get('params', ())) or '-'}")
+            for e in GRAPH_FAMILIES.entries()
+        ),
+    )
+    section(
+        "LCL problems",
+        (
+            (e.name, f"[{e.metadata.get('model', '?')}] {e.description}")
+            for e in PROBLEMS.entries()
+        ),
+    )
+    section(
+        "report specs",
+        ((e.name, e.description) for e in REPORTS.entries()),
+    )
+    section("engine backends", ((name, "") for name in ENGINE_NAMES))
+    return 0
 
 
 def _run_parallel(args) -> int:
@@ -95,7 +171,10 @@ def _run_parallel(args) -> int:
     jobs = args.jobs or 1
     artifacts = args.artifacts or "artifacts"
     cells = default_plan(
-        quick=args.quick, base_seed=args.seed, view_cache=args.view_cache
+        quick=args.quick,
+        base_seed=args.seed,
+        view_cache=args.view_cache,
+        engine=args.engine,
     )
     print(f"running {len(cells)} cells on {jobs} process(es) -> {artifacts}/")
 

@@ -29,15 +29,28 @@ Three cell kinds exist:
     cell runs twice — directly and through the canonical-view
     memoization cache (:mod:`repro.local_model.cache`) — and its
     verdict is the bit-identical differential check; the artifact
-    carries the cache hit rate.
+    carries the cache hit rate.  With an ``engine`` parameter
+    (``"cached"`` / ``"sharded"``) the cell instead runs through the
+    named :mod:`repro.core` backend and checks it against the direct
+    backend the same way.
 
 ``report``
     Wrap one of the classic experiment runners (Table 1, the log\\*
     sweep, Claims 10-12, ...) and record its verdict — the parallel
     equivalent of one section of the legacy report.
 
+Component names resolve through :mod:`repro.core.registry`: graph
+families via :data:`~repro.core.registry.GRAPH_FAMILIES`, algorithms and
+view rules via :data:`~repro.core.registry.ALGORITHMS` (whose
+``verifier`` metadata names the matching LCL problem in
+:data:`~repro.core.registry.PROBLEMS`), and the classic report specs via
+:data:`~repro.core.registry.REPORTS` — registered below, next to
+nothing: one decorator at each definition site replaces the string
+dispatch that used to live here.
+
 Determinism: each cell's seed is derived as
-``sha256(f"{base_seed}:{cell_id}")``, so results are independent of
+``sha256(f"{base_seed}:{cell_id}")`` — the system-wide scheme of
+:func:`repro.core.engine.derive_seed` — so results are independent of
 ``--jobs``, scheduling order, and which other cells exist.
 
 Artifact schema: see ``docs/OBSERVABILITY.md`` (``repro.experiment-cell/1``).
@@ -45,7 +58,7 @@ Artifact schema: see ``docs/OBSERVABILITY.md`` (``repro.experiment-cell/1``).
 
 from __future__ import annotations
 
-import hashlib
+import importlib
 import json
 import multiprocessing
 import os
@@ -56,11 +69,17 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..graphs.generators import balanced_regular_tree, cycle, toroidal_grid
+from ..core.engine import derive_seed
+from ..core.registry import (
+    ALGORITHMS,
+    PROBLEMS,
+    REPORTS,
+    build_graph,
+    ensure_builtins,
+)
 from ..graphs.identifiers import random_permutation_ids
 from ..instrumentation import MetricsTracer
-from ..lcl.catalog import MaximalIndependentSet, ProperColoring, WeakColoring
-from ..local_model.network import run_local, run_view_algorithm
+from ..local_model.network import run_local
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -81,10 +100,12 @@ def derive_cell_seed(base_seed: int, cell_id: str) -> int:
     """Deterministic 64-bit seed for one cell.
 
     Stable across processes, job counts, and plan composition: it
-    depends only on the base seed and the cell's identity.
+    depends only on the base seed and the cell's identity.  Delegates to
+    :func:`repro.core.engine.derive_seed`, the one seed-derivation
+    scheme in the system (the sharded engine derives per-shard seeds the
+    same way).
     """
-    digest = hashlib.sha256(f"{base_seed}:{cell_id}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+    return derive_seed(base_seed, cell_id)
 
 
 @dataclass(frozen=True)
@@ -139,31 +160,29 @@ class CellResult:
 # ---------------------------------------------------------------------------
 
 def _build_graph(params: Dict[str, Any]):
-    family = params["graph"]
-    if family == "cycle":
-        return cycle(params["n"])
-    if family == "tree":
-        return balanced_regular_tree(params["delta"], params["depth"])
-    if family == "torus":
-        return toroidal_grid(params["rows"], params["cols"])
-    raise ValueError(f"unknown graph family {family!r}")
+    """Registry-backed graph construction (see :func:`build_graph`)."""
+    return build_graph(params)
 
 
 def _make_algorithm(name: str):
-    # Imported lazily so worker processes pay only for what they run.
-    from ..algorithms.message_passing import (
-        FloodLeaderParity,
-        LubyMIS,
-        RandomizedWeakColoring,
-    )
+    """Resolve ``(algorithm, verifier, needs_ids)`` through the registries.
 
-    if name == "luby-mis":
-        return LubyMIS(), MaximalIndependentSet(), True
-    if name == "randomized-weak-coloring":
-        return RandomizedWeakColoring(), WeakColoring(2), False
-    if name == "flood-leader-parity":
-        return FloodLeaderParity(), ProperColoring(2), True
-    raise ValueError(f"unknown algorithm {name!r}")
+    The algorithm's ``verifier`` metadata — ``(problem_name, kwargs)`` —
+    names the LCL problem in :data:`PROBLEMS` that judges its output; a
+    registered algorithm without one is not runnable as a
+    ``local-algorithm`` cell.
+    """
+    ensure_builtins()
+    entry = ALGORITHMS.get(name)
+    verifier_spec = entry.metadata.get("verifier")
+    if entry.metadata.get("kind") != "local" or verifier_spec is None:
+        raise ValueError(
+            f"algorithm {name!r} is not runnable as a local-algorithm cell "
+            f"(kind={entry.metadata.get('kind')!r}, no registered verifier)"
+        )
+    problem_name, problem_kwargs = verifier_spec
+    verifier = PROBLEMS.create(problem_name, **problem_kwargs)
+    return entry.create(), verifier, bool(entry.metadata.get("needs_ids"))
 
 
 def _run_local_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
@@ -196,17 +215,24 @@ def _run_view_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any
 
     With ``view_cache`` on, the cell runs the rule twice — once directly
     and once through the canonical-view cache — and its verdict is the
-    *differential check*: the two :class:`ExecutionResult`s must agree
-    bit for bit.  The reported metrics come from the cached run, so the
-    artifact carries the cache hit rate.  Without the cache the verdict
-    is the basic execution contract (every node halts at the rule's
-    radius).
+    *differential check*: the two results must agree bit for bit.  The
+    reported metrics come from the cached run, so the artifact carries
+    the cache hit rate.  An ``engine`` parameter (``"cached"`` /
+    ``"sharded"``) generalizes this: the cell runs the named
+    :mod:`repro.core` backend against the direct backend and its verdict
+    is :meth:`~repro.core.engine.SimReport.identity` equality.  Without
+    either, the verdict is the basic execution contract (every node
+    halts at the rule's radius).
     """
-    from ..algorithms.view_rules import make_view_rule
+    from ..core import CachedEngine, SimRequest, simulate
     from ..local_model.cache import ViewCache
 
+    ensure_builtins()
     graph = _build_graph(params)
-    rule = make_view_rule(params["rule"], radius=params.get("radius", 2))
+    entry = ALGORITHMS.get(params["rule"])
+    if entry.metadata.get("kind") != "view":
+        raise ValueError(f"algorithm {params['rule']!r} is not a view rule")
+    rule = entry.create(radius=params.get("radius", 2))
     labeling = params.get("labeling", "anonymous")
     rng = random.Random(seed)
     ids = randomness = None
@@ -217,7 +243,10 @@ def _run_view_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any
     elif labeling != "anonymous":
         raise ValueError(f"unknown labeling {labeling!r}")
 
-    direct = run_view_algorithm(graph, rule, ids=ids, randomness=randomness)
+    request = SimRequest(
+        kind="view", graph=graph, algorithm=rule, ids=ids, randomness=randomness
+    )
+    direct = simulate(request)
     detail: Dict[str, Any] = {
         "n": graph.n,
         "m": graph.m,
@@ -226,21 +255,25 @@ def _run_view_algorithm_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any
         "rounds": direct.rounds,
         "distinct_outputs": len(set(direct.outputs)),
     }
+
+    engine = params.get("engine")
+    if engine not in (None, "direct"):
+        tracer = MetricsTracer(per_round=False)
+        other = simulate(request, engine=engine, tracer=tracer)
+        identical = other.identity() == direct.identity()
+        detail["engine"] = engine
+        detail["differential_identical"] = identical
+        detail["engine_info"] = dict(other.info)
+        return {"verdict": identical, "metrics": tracer.report(), "detail": detail}
+
     if not params.get("view_cache", False):
         verdict = all(r == rule.radius for r in direct.halt_rounds)
         return {"verdict": verdict, "metrics": None, "detail": detail}
 
     cache = ViewCache()
     tracer = MetricsTracer(per_round=False)
-    cached = run_view_algorithm(
-        graph, rule, ids=ids, randomness=randomness,
-        tracer=tracer, view_cache=cache,
-    )
-    identical = (
-        cached.outputs == direct.outputs
-        and cached.halt_rounds == direct.halt_rounds
-        and cached.rounds == direct.rounds
-    )
+    cached = simulate(request, engine=CachedEngine(cache=cache), tracer=tracer)
+    identical = cached.identity() == direct.identity()
     detail["differential_identical"] = identical
     detail["cache"] = cache.stats.to_dict()
     return {"verdict": identical, "metrics": tracer.report(), "detail": detail}
@@ -257,64 +290,98 @@ class _ReportSpec:
     detail: Optional[Callable[[Any], Dict[str, Any]]] = None
 
 
-def _report_specs() -> Dict[str, _ReportSpec]:
-    from . import (
-        run_claim10,
-        run_classification,
-        run_cycle_trichotomy,
-        run_global_failure,
-        run_lemma2,
-        run_linial_experiment,
-        run_logstar_sweep,
-        run_recurrence_experiment,
-        run_speedup_figures,
-        run_table1,
-        run_theorem4,
-    )
+def _register_report(
+    name: str,
+    runner_attr: str,
+    verdict: Callable[[Any], bool],
+    detail: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    description: str = "",
+) -> None:
+    """Register one classic report spec in :data:`REPORTS`.
 
-    return {
-        "table1": _ReportSpec(
-            run_table1,
-            lambda r: all(row.all_verified for row in r.rows),
-            lambda r: {"rounds": {row.example: row.measurements for row in r.rows}},
-        ),
-        "logstar-sweep": _ReportSpec(
-            run_logstar_sweep,
-            lambda r: r.monotone_in_log_star() and all(p.verified for p in r.points),
-            lambda r: {"rounds_by_id_bits": dict(r.rounds_series())},
-        ),
-        "speedup-figures": _ReportSpec(
-            run_speedup_figures, lambda r: r.all_bounds_hold()
-        ),
-        "theorem4": _ReportSpec(run_theorem4, lambda r: r.all_verified()),
-        "classification": _ReportSpec(
-            run_classification, lambda r: all(row.all_verified for row in r.rows)
-        ),
-        "lemma2": _ReportSpec(
-            run_lemma2,
-            lambda r: r.rounds_are_constant() and all(p.verified for p in r.points),
-            lambda r: {"rounds": {p.n: p.rounds for p in r.points}},
-        ),
-        "claim10": _ReportSpec(run_claim10, lambda r: r.all_bounds_hold()),
-        "recurrence": _ReportSpec(
-            run_recurrence_experiment, lambda r: r.crossover_height == 10
-        ),
-        "cycle-trichotomy": _ReportSpec(
-            run_cycle_trichotomy, lambda r: all(row.all_verified for row in r.rows)
-        ),
-        "linial": _ReportSpec(
-            run_linial_experiment, lambda r: r.derived_algorithm_valid
-        ),
-        "global-failure": _ReportSpec(run_global_failure, lambda r: r.success_decays()),
-    }
+    The factory resolves the experiment function lazily (it lives on the
+    :mod:`repro.experiments` package), so registration — which happens
+    when this module is imported, including from ``ensure_builtins`` —
+    never pays for the heavy experiment modules.
+    """
+
+    def factory() -> _ReportSpec:
+        experiments = importlib.import_module("repro.experiments")
+        return _ReportSpec(getattr(experiments, runner_attr), verdict, detail)
+
+    REPORTS.add(name, factory, runner=runner_attr, description=description)
+
+
+_register_report(
+    "table1", "run_table1",
+    lambda r: all(row.all_verified for row in r.rows),
+    lambda r: {"rounds": {row.example: row.measurements for row in r.rows}},
+    description="Table 1: homogeneous LCL complexities",
+)
+_register_report(
+    "logstar-sweep", "run_logstar_sweep",
+    lambda r: r.monotone_in_log_star() and all(p.verified for p in r.points),
+    lambda r: {"rounds_by_id_bits": dict(r.rounds_series())},
+    description="Theta(log* n) identifier-space sweep",
+)
+_register_report(
+    "speedup-figures", "run_speedup_figures",
+    lambda r: r.all_bounds_hold(),
+    description="Figures 1-2: speedup lemma bounds",
+)
+_register_report(
+    "theorem4", "run_theorem4",
+    lambda r: r.all_verified(),
+    description="Theorem 4: P* is Theta(log n)",
+)
+_register_report(
+    "classification", "run_classification",
+    lambda r: all(row.all_verified for row in r.rows),
+    description="Theorem 5: the four-class classification",
+)
+_register_report(
+    "lemma2", "run_lemma2",
+    lambda r: r.rounds_are_constant() and all(p.verified for p in r.points),
+    lambda r: {"rounds": {p.n: p.rounds for p in r.points}},
+    description="Lemma 2: minimality reduction is O(1)",
+)
+_register_report(
+    "claim10", "run_claim10",
+    lambda r: r.all_bounds_hold(),
+    description="Claim 10: independent executions",
+)
+_register_report(
+    "recurrence", "run_recurrence_experiment",
+    lambda r: r.crossover_height == 10,
+    description="Claims 11-12 / Theorem 13: the recurrence endgame",
+)
+_register_report(
+    "cycle-trichotomy", "run_cycle_trichotomy",
+    lambda r: all(row.all_verified for row in r.rows),
+    description="Cycle trichotomy (introduction)",
+)
+_register_report(
+    "linial", "run_linial_experiment",
+    lambda r: r.derived_algorithm_valid,
+    description="Linial's neighborhood graphs",
+)
+_register_report(
+    "global-failure", "run_global_failure",
+    lambda r: r.success_decays(),
+    description="Global failure amplification (Claim 10 -> Lemma 9)",
+)
+
+
+def _report_specs() -> Dict[str, _ReportSpec]:
+    """All registered report specs, resolved (compatibility helper)."""
+    return {name: REPORTS.get(name).create() for name in REPORTS.names()}
 
 
 def _run_report_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    specs = _report_specs()
     name = params["report"]
-    if name not in specs:
+    if name not in REPORTS:
         raise ValueError(f"unknown report {name!r}")
-    spec = specs[name]
+    spec = REPORTS.get(name).create()
     result = spec.fn(**params.get("kwargs", {}))
     detail: Dict[str, Any] = {}
     if spec.detail is not None:
@@ -403,7 +470,22 @@ _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
 
 
 def _artifact_path(directory: str, cell_id: str) -> str:
-    return os.path.join(directory, _SAFE_NAME.sub("_", cell_id) + ".json")
+    """The artifact file for ``cell_id``, always inside ``directory``.
+
+    Cell ids come from plans, which may embed user-supplied strings
+    (``--seed`` labels, custom plan files), so the filename is
+    sanitized, never trusted: path separators and other hostile
+    characters collapse to ``_``, leading dots are stripped (no hidden
+    files, no ``..`` traversal), and the result must still resolve to a
+    direct child of ``directory``.
+    """
+    safe = _SAFE_NAME.sub("_", cell_id).lstrip(".")
+    if not safe:
+        raise ValueError(f"cell_id {cell_id!r} has no filename-safe characters")
+    path = os.path.join(directory, safe + ".json")
+    if os.path.dirname(os.path.abspath(path)) != os.path.abspath(directory):
+        raise ValueError(f"cell_id {cell_id!r} escapes the artifact directory")
+    return path
 
 
 def write_artifacts(summary: RunnerSummary, directory: str) -> None:
@@ -468,15 +550,20 @@ def run_cells(
 # ---------------------------------------------------------------------------
 
 def default_plan(
-    quick: bool = False, base_seed: int = 0, view_cache: bool = False
+    quick: bool = False,
+    base_seed: int = 0,
+    view_cache: bool = False,
+    engine: Optional[str] = None,
 ) -> List[ExperimentCell]:
     """The standard cell decomposition of ``python -m repro.experiments``.
 
     Instrumented algorithm cells form a (graph × size × seed ×
     algorithm) grid; view-rule cells cover the view engines (with
     ``view_cache=True`` each doubles as a cached-vs-direct differential
-    check); report cells carry the classic per-claim verdicts with the
-    same parameter choices as the legacy serial report.
+    check, and with ``engine`` set each runs the named
+    :mod:`repro.core` backend against the direct one); report cells
+    carry the classic per-claim verdicts with the same parameter
+    choices as the legacy serial report.
     """
     cells: List[ExperimentCell] = []
 
@@ -541,6 +628,7 @@ def default_plan(
                         "labeling": labeling,
                         "seed_index": seed_index,
                         "view_cache": view_cache,
+                        **({"engine": engine} if engine else {}),
                         **graph_params,
                     },
                 )

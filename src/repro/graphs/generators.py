@@ -12,6 +12,11 @@ Every instance family the paper's arguments touch is constructible here:
 * the indistinguishable pair (T, T') used in the proof of Lemma 18.
 
 All generators return frozen :class:`~repro.graphs.graph.Graph` objects.
+
+The families experiment plans can name are registered in
+:data:`repro.core.registry.GRAPH_FAMILIES` at the definition site; the
+``params`` metadata names the keys each factory consumes from a cell's
+parameter dict (see :func:`repro.core.registry.build_graph`).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from ..core.registry import register_graph_family
 from .graph import Graph, edge_key
 
 __all__ = [
@@ -41,6 +47,7 @@ __all__ = [
 ]
 
 
+@register_graph_family("path", params=("n",))
 def path(n: int) -> Graph:
     """Path with ``n`` nodes ``0 - 1 - ... - (n-1)``."""
     if n < 1:
@@ -48,6 +55,7 @@ def path(n: int) -> Graph:
     return Graph(n, ((i, i + 1) for i in range(n - 1))).freeze()
 
 
+@register_graph_family("cycle", params=("n",))
 def cycle(n: int) -> Graph:
     """Cycle with ``n >= 3`` nodes."""
     if n < 3:
@@ -73,6 +81,7 @@ def symmetric_cycle(n: int) -> Graph:
     return Graph.from_adjacency(adjacency).freeze()
 
 
+@register_graph_family("star", params=("leaves",))
 def star(leaves: int) -> Graph:
     """Star: node 0 joined to ``leaves`` leaf nodes."""
     if leaves < 1:
@@ -80,6 +89,7 @@ def star(leaves: int) -> Graph:
     return Graph(leaves + 1, ((0, i) for i in range(1, leaves + 1))).freeze()
 
 
+@register_graph_family("clique", params=("n",))
 def complete_graph(n: int) -> Graph:
     """Complete graph on ``n`` nodes."""
     g = Graph(n)
@@ -89,6 +99,7 @@ def complete_graph(n: int) -> Graph:
     return g.freeze()
 
 
+@register_graph_family("caterpillar", params=("spine", "legs_per_node"))
 def caterpillar(spine: int, legs_per_node: int) -> Graph:
     """A path of ``spine`` nodes, each with ``legs_per_node`` pendant leaves."""
     if spine < 1:
@@ -129,6 +140,7 @@ def balanced_regular_tree_size(delta: int, depth: int) -> int:
     return total
 
 
+@register_graph_family("tree", params=("delta", "depth"))
 def balanced_regular_tree(delta: int, depth: int) -> Graph:
     """Balanced Delta-regular tree: every non-leaf has degree ``delta``.
 
@@ -166,6 +178,7 @@ def regular_tree_of_depth_at_least(delta: int, min_nodes: int) -> Tuple[Graph, i
     return balanced_regular_tree(delta, depth), depth
 
 
+@register_graph_family("torus", params=("rows", "cols"))
 def toroidal_grid(rows: int, cols: int) -> Graph:
     """The ``rows x cols`` torus: 4-regular, leafless, consistently orientable.
 
@@ -223,6 +236,7 @@ def toroidal_grid_nd(dims: Tuple[int, ...]) -> Graph:
     return g.freeze()
 
 
+@register_graph_family("hypercube", params=("dim",))
 def hypercube(dim: int) -> Graph:
     """The ``dim``-dimensional hypercube (regular of degree ``dim``)."""
     if dim < 1:

@@ -13,7 +13,7 @@ downstream consumers can treat it as stable.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
 from .sizes import SizeEstimator, estimate_size
@@ -78,6 +78,7 @@ class RunMetrics:
     cache_misses: int = 0
     cache_bytes: int = 0
     cache_distinct_classes: int = 0
+    shards: int = 0
     wall_seconds: float = 0.0
     halt_histogram: Dict[int, int] = field(default_factory=dict)
     per_round: List[RoundMetrics] = field(default_factory=list)
@@ -108,6 +109,7 @@ class RunMetrics:
             "cache_bytes": self.cache_bytes,
             "cache_distinct_classes": self.cache_distinct_classes,
             "cache_hit_rate": self.cache_hit_rate,
+            "shards": self.shards,
             "wall_seconds": self.wall_seconds,
             # JSON objects have string keys; keep them sorted for diffs.
             "halt_histogram": {
@@ -118,31 +120,28 @@ class RunMetrics:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
-        """Inverse of :meth:`to_dict` (artifact consumers' entry point)."""
-        return cls(
-            engine=data["engine"],
-            algorithm=data["algorithm"],
-            n=data["n"],
-            rounds=data["rounds"],
-            messages_sent=data["messages_sent"],
-            messages_delivered=data["messages_delivered"],
-            bits_sent=data["bits_sent"],
-            views_gathered=data["views_gathered"],
-            view_nodes=data["view_nodes"],
-            view_edges=data["view_edges"],
-            trials=data["trials"],
-            trial_successes=data["trial_successes"],
-            # Cache counters arrived with the view-cache engine; default
-            # to 0 so pre-cache artifacts still load.
-            cache_lookups=data.get("cache_lookups", 0),
-            cache_hits=data.get("cache_hits", 0),
-            cache_misses=data.get("cache_misses", 0),
-            cache_bytes=data.get("cache_bytes", 0),
-            cache_distinct_classes=data.get("cache_distinct_classes", 0),
-            wall_seconds=data["wall_seconds"],
-            halt_histogram={int(k): v for k, v in data["halt_histogram"].items()},
-            per_round=[RoundMetrics(**r) for r in data["per_round"]],
-        )
+        """Inverse of :meth:`to_dict` (artifact consumers' entry point).
+
+        Forward- and backward-compatible by construction: counters the
+        artifact lacks fall back to the dataclass defaults (pre-cache
+        artifacts load with zero ``cache_*`` counters), and keys this
+        version does not know — an artifact written by a *newer* version
+        — are ignored rather than rejected.  Derived values such as
+        ``cache_hit_rate`` are recomputed, never read back.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in data.items() if k in known
+        }
+        kwargs["halt_histogram"] = {
+            int(k): v for k, v in data.get("halt_histogram", {}).items()
+        }
+        round_known = {f.name for f in fields(RoundMetrics)}
+        kwargs["per_round"] = [
+            RoundMetrics(**{k: v for k, v in r.items() if k in round_known})
+            for r in data.get("per_round", [])
+        ]
+        return cls(**kwargs)
 
 
 class MetricsTracer(Tracer):
@@ -227,6 +226,9 @@ class MetricsTracer(Tracer):
         self.metrics.cache_misses += stats.get("misses", 0)
         self.metrics.cache_bytes += stats.get("bytes", 0)
         self.metrics.cache_distinct_classes += stats.get("distinct_classes", 0)
+
+    def on_shard(self, index: int, items: int, seed: int) -> None:
+        self.metrics.shards += 1
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         self.metrics.trials += 1

@@ -32,6 +32,7 @@ on_halt             message-passing engine, when a node commits + stops
 on_round_end        message-passing engine, after deliveries + receives
 on_view             view engines, once per materialized ball
 on_cache            cached engines, once per run, with lookup stats
+on_shard            sharded engine, once per dispatched shard
 on_trial            finite runner, once per Monte Carlo trial
 on_stage            speedup pipeline, once per ladder stage
 on_run_end          every engine, once, after the result is assembled
@@ -111,6 +112,14 @@ class Tracer:
         even when the underlying cache is shared across runs.
         """
 
+    def on_shard(self, index: int, items: int, seed: int) -> None:
+        """The sharded engine dispatched one shard of work.
+
+        ``items`` counts the view-equivalence classes (or requests, for
+        batch runs) in the shard; ``seed`` is the shard's sha256-derived
+        seed (:func:`~repro.core.engine.derive_seed`'s scheme).
+        """
+
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         """One Monte Carlo trial of the finite runner finished."""
 
@@ -167,6 +176,10 @@ class MultiTracer(Tracer):
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         for t in self.tracers:
             t.on_cache(engine, stats)
+
+    def on_shard(self, index: int, items: int, seed: int) -> None:
+        for t in self.tracers:
+            t.on_shard(index, items, seed)
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         for t in self.tracers:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core.registry import register_problem
 from ..graphs.graph import Graph, edge_key
 from ..graphs.orientation import Orientation
 from .problem import EdgeLCL, EdgeLabeling, NodeLCL, NodeLabeling, Violation
@@ -42,6 +43,7 @@ __all__ = [
 ]
 
 
+@register_problem("weak-coloring", model="node", params=("colors",))
 class WeakColoring(NodeLCL):
     """Distance-k weak c-coloring (Definition 1).
 
@@ -109,6 +111,7 @@ class WeakColoring(NodeLCL):
         )
 
 
+@register_problem("proper-coloring", model="node", params=("colors",))
 class ProperColoring(NodeLCL):
     """Proper c-coloring: adjacent nodes get distinct labels from [c]."""
 
@@ -143,6 +146,7 @@ class ProperColoring(NodeLCL):
         return None
 
 
+@register_problem("mis", model="node")
 class MaximalIndependentSet(NodeLCL):
     """MIS: labels are truthy (in the set) / falsy; independent + dominating."""
 
@@ -169,6 +173,7 @@ class MaximalIndependentSet(NodeLCL):
         return None
 
 
+@register_problem("weak-edge-coloring", model="edge", params=("colors",))
 class WeakEdgeColoring(EdgeLCL):
     """Weak edge c-coloring on consistently oriented 2k-regular graphs.
 
@@ -224,6 +229,7 @@ class WeakEdgeColoring(EdgeLCL):
         return Violation(v, "every complete dimension is monochromatic")
 
 
+@register_problem("sinkless-orientation", model="edge")
 class SinklessOrientation(EdgeLCL):
     """Sinkless orientation: labels are head nodes; no node of degree >= 3
     may have all its edges oriented inward.
@@ -256,6 +262,7 @@ class SinklessOrientation(EdgeLCL):
         return None
 
 
+@register_problem("proper-edge-coloring", model="edge", params=("colors",))
 class ProperEdgeColoring(EdgeLCL):
     """Proper edge c-coloring: edges sharing an endpoint get distinct labels.
 
@@ -294,6 +301,7 @@ class ProperEdgeColoring(EdgeLCL):
         return None
 
 
+@register_problem("maximal-matching", model="edge")
 class MaximalMatching(EdgeLCL):
     """Maximal matching: labels truthy (matched) / falsy; matching + maximal."""
 

@@ -43,19 +43,13 @@ speedups (``benchmarks/BENCH_view_cache.json``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from ..graphs.graph import Graph, Edge, edge_key
+from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
 from ..instrumentation.sizes import SizeEstimator, estimate_size
-from ..instrumentation.tracer import Tracer, effective_tracer
+from ..instrumentation.tracer import Tracer
 from .algorithm import ViewAlgorithm
-from .views import (
-    edge_view_signature,
-    gather_edge_view,
-    gather_view,
-    view_signature,
-)
 
 __all__ = [
     "CacheStats",
@@ -225,42 +219,27 @@ def run_view_algorithm_cached(
     ball — i.e. one per distinct class, which is the point — plus one
     :meth:`~repro.instrumentation.Tracer.on_cache` with the run's
     lookup statistics before ``on_run_end``.
-    """
-    from .network import ExecutionResult
 
-    if cache is None:
-        cache = ViewCache()
-    tracer = effective_tracer(tracer)
-    radius = algorithm.radius
-    if tracer is not None:
-        tracer.on_run_start("view", algorithm.name, graph.n)
-    before = cache.stats.copy() if tracer is not None else None
-    outputs: List[Any] = []
-    append = outputs.append
-    get, store, output = cache.get, cache.store, algorithm.output
-    for v in graph.nodes():
-        key = view_signature(
-            graph, v, radius,
-            ids=ids, inputs=inputs, randomness=randomness,
+    The memo loop itself lives in
+    :class:`~repro.core.cached.CachedEngine`; this entry point is a
+    signature-stable adapter over it.
+    """
+    from ..core.cached import CachedEngine
+    from ..core.engine import SimRequest
+
+    report = CachedEngine(cache=cache).run(
+        SimRequest(
+            kind="view",
+            graph=graph,
+            algorithm=algorithm,
+            ids=ids,
+            inputs=inputs,
+            randomness=randomness,
             orientation=orientation,
-        )
-        out = get(key)
-        if out is _MISS:
-            view = gather_view(
-                graph, v, radius,
-                ids=ids, inputs=inputs, randomness=randomness,
-                orientation=orientation,
-            )
-            if tracer is not None:
-                tracer.on_view(v, view.radius, view.node_count, len(view.edges))
-            out = store(key, output(view))
-        append(out)
-    if tracer is not None:
-        tracer.on_cache("view", cache.stats.delta(before).to_dict())
-        tracer.on_run_end(radius)
-    return ExecutionResult(
-        outputs=outputs, halt_rounds=[radius] * graph.n, rounds=radius
+        ),
+        tracer=tracer,
     )
+    return report.to_execution_result()
 
 
 def run_edge_view_algorithm_cached(
@@ -277,38 +256,21 @@ def run_edge_view_algorithm_cached(
 
     Evaluates ``algorithm.output_fn`` once per distinct edge-ball class
     and matches :func:`~repro.local_model.edge_model.run_edge_view_algorithm`
-    bit for bit.
+    bit for bit.  Adapter over :class:`~repro.core.cached.CachedEngine`.
     """
-    from .edge_model import EdgeExecutionResult
+    from ..core.cached import CachedEngine
+    from ..core.engine import SimRequest
 
-    if cache is None:
-        cache = ViewCache()
-    tracer = effective_tracer(tracer)
-    radius = algorithm.view_radius()
-    if tracer is not None:
-        tracer.on_run_start("edge", algorithm.name, graph.m)
-    before = cache.stats.copy() if tracer is not None else None
-    outputs: Dict[Edge, Any] = {}
-    get, store, output_fn = cache.get, cache.store, algorithm.output_fn
-    for u, v in graph.edges():
-        key = edge_view_signature(
-            graph, (u, v), radius,
-            ids=ids, inputs=inputs, randomness=randomness,
+    report = CachedEngine(cache=cache).run(
+        SimRequest(
+            kind="edge",
+            graph=graph,
+            algorithm=algorithm,
+            ids=ids,
+            inputs=inputs,
+            randomness=randomness,
             orientation=orientation,
-        )
-        out = get(key)
-        if out is _MISS:
-            view = gather_edge_view(
-                graph, (u, v), radius,
-                ids=ids, inputs=inputs, randomness=randomness,
-                orientation=orientation,
-            )
-            if tracer is not None:
-                tracer.on_view((u, v), view.radius, view.node_count, len(view.edges))
-            out = store(key, output_fn(view))
-        outputs[edge_key(u, v)] = out
-    result = EdgeExecutionResult(outputs=outputs, rounds=algorithm.rounds)
-    if tracer is not None:
-        tracer.on_cache("edge", cache.stats.delta(before).to_dict())
-        tracer.on_run_end(result.rounds)
-    return result
+        ),
+        tracer=tracer,
+    )
+    return report.to_edge_result()

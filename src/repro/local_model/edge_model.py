@@ -9,19 +9,21 @@ B_{t-1}(u) ∪ B_{t-1}(v)`` (paper convention), i.e. a node-ball radius of
 :func:`run_edge_view_algorithm` evaluates such a functional algorithm on
 every edge; the message-passing equivalent (edges relaying through shared
 endpoints) is intentionally not duplicated here — the equivalence is the
-same "views = rounds" identity as in the node model.
+same "views = rounds" identity as in the node model.  The evaluation
+loop itself lives behind the engine seam
+(:class:`repro.core.direct.DirectEngine`); this entry point is a
+signature-stable adapter over :func:`repro.core.simulate`.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..graphs.graph import Graph, Edge, edge_key
 from ..graphs.orientation import Orientation
-from ..instrumentation.tracer import Tracer, effective_tracer
-from .views import View, gather_edge_view
+from ..instrumentation.tracer import Tracer
+from .views import View
 
 __all__ = ["EdgeViewAlgorithm", "EdgeExecutionResult", "run_edge_view_algorithm"]
 
@@ -84,42 +86,31 @@ def run_edge_view_algorithm(
     (``center`` is the edge's ``(u, v)`` node pair).
 
     ``view_cache`` switches to the canonical-view memoization engine
-    (:func:`~repro.local_model.cache.run_edge_view_algorithm_cached`) —
-    a :class:`~repro.local_model.cache.ViewCache` to keep the memo
+    (:class:`~repro.core.cached.CachedEngine`) — a
+    :class:`~repro.local_model.cache.ViewCache` to keep the memo
     table, or ``True`` for a fresh per-run cache; results are identical.
     """
-    if view_cache is not None and view_cache is not False:
-        from .cache import run_edge_view_algorithm_cached
+    # Lazy: the core package imports sibling local_model modules.
+    from ..core.cached import CachedEngine
+    from ..core.direct import DirectEngine
+    from ..core.engine import SimRequest
 
-        return run_edge_view_algorithm_cached(
-            graph,
-            algorithm,
+    if view_cache is not None and view_cache is not False:
+        engine = CachedEngine(
+            cache=None if view_cache is True else view_cache
+        )
+    else:
+        engine = DirectEngine()
+    report = engine.run(
+        SimRequest(
+            kind="edge",
+            graph=graph,
+            algorithm=algorithm,
             ids=ids,
             inputs=inputs,
             randomness=randomness,
             orientation=orientation,
-            tracer=tracer,
-            cache=None if view_cache is True else view_cache,
-        )
-    tracer = effective_tracer(tracer)
-    if tracer is not None:
-        tracer.on_run_start("edge", algorithm.name, graph.m)
-    outputs: Dict[Edge, Any] = {}
-    radius = algorithm.view_radius()
-    for u, v in graph.edges():
-        view = gather_edge_view(
-            graph,
-            (u, v),
-            radius,
-            ids=ids,
-            inputs=inputs,
-            randomness=randomness,
-            orientation=orientation,
-        )
-        if tracer is not None:
-            tracer.on_view((u, v), view.radius, view.node_count, len(view.edges))
-        outputs[edge_key(u, v)] = algorithm.output_fn(view)
-    result = EdgeExecutionResult(outputs=outputs, rounds=algorithm.rounds)
-    if tracer is not None:
-        tracer.on_run_end(result.rounds)
-    return result
+        ),
+        tracer=tracer,
+    )
+    return report.to_edge_result()

@@ -1,4 +1,4 @@
-"""The synchronous LOCAL execution engine.
+"""The synchronous LOCAL execution entry points.
 
 :func:`run_local` executes a :class:`~repro.local_model.algorithm.LocalAlgorithm`
 (message passing) or a :class:`~repro.local_model.algorithm.ViewAlgorithm`
@@ -12,20 +12,23 @@ Faithfulness guarantees:
 * a node that has halted is silent from the next round on;
 * per-node randomness is private and derived from independent streams;
 * deterministic runs poison the RNG so accidental randomness raises.
+
+Both functions are adapters over the unified engine seam
+(:func:`repro.core.simulate`): the loops themselves live in
+:class:`repro.core.direct.DirectEngine`, and these entry points keep
+their historical signatures and result types on top of it.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
-from ..instrumentation.tracer import Tracer, effective_tracer
+from ..instrumentation.tracer import Tracer
 from .algorithm import LocalAlgorithm, ViewAlgorithm
-from .context import NodeContext, UNSET
-from .views import gather_view
 
 __all__ = ["ExecutionResult", "run_local", "run_view_algorithm"]
 
@@ -106,97 +109,26 @@ def run_local(
     RuntimeError
         If ``max_rounds`` elapses with nodes still running.
     """
-    n = graph.n
-    if ids is not None and len(ids) != n:
-        raise ValueError("ids must have one entry per node")
-    if inputs is not None and len(inputs) != n:
-        raise ValueError("inputs must have one entry per node")
-    if max_rounds is None:
-        max_rounds = 4 * n + 16
-    tracer = effective_tracer(tracer)
-    master = rng or random.Random(0)
-    delta = graph.max_degree()
+    # Imported here, not at module scope: the core package imports
+    # sibling local_model modules, so the reverse edge stays lazy.
+    from ..core.direct import DirectEngine
+    from ..core.engine import SimRequest
 
-    contexts: List[NodeContext] = []
-    for v in graph.nodes():
-        port_dirs = None
-        if orientation is not None:
-            port_dirs = {}
-            for port, u in enumerate(graph.neighbors(v)):
-                if orientation.is_labeled(v, u):
-                    port_dirs[port] = orientation.direction_at(v, u)
-        contexts.append(
-            NodeContext(
-                degree=graph.degree(v),
-                n=n,
-                delta=delta,
-                identifier=None if ids is None else ids[v],
-                input_label=None if inputs is None else inputs[v],
-                port_directions=port_dirs,
-                rng=random.Random(master.getrandbits(64)),
-                forbid_randomness=deterministic,
-            )
-        )
-
-    if tracer is not None:
-        tracer.on_run_start("local", algorithm.name, n)
-
-    halt_rounds: List[Optional[int]] = [None] * n
-    for v in graph.nodes():
-        algorithm.init(contexts[v])
-        if contexts[v].halted:
-            halt_rounds[v] = 0
-            if tracer is not None:
-                tracer.on_halt(v, 0, contexts[v].output)
-
-    rounds = 0
-    active = [v for v in graph.nodes() if not contexts[v].halted]
-    while active:
-        rounds += 1
-        if rounds > max_rounds:
-            raise RuntimeError(
-                f"{algorithm.name}: {len(active)} nodes still running after "
-                f"{max_rounds} rounds — runaway algorithm?"
-            )
-        for v in active:
-            contexts[v].round_number = rounds
-        if tracer is not None:
-            tracer.on_round_start(rounds, len(active))
-        outboxes: Dict[int, Dict[int, Any]] = {}
-        for v in active:
-            msgs = algorithm.send(contexts[v])
-            if msgs:
-                outboxes[v] = msgs
-        inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in active}
-        for v, msgs in outboxes.items():
-            for port, payload in msgs.items():
-                u = graph.endpoint(v, port)
-                delivered = not contexts[u].halted
-                if delivered:
-                    inboxes[u][graph.port_to(u, v)] = payload
-                if tracer is not None:
-                    tracer.on_message(v, u, port, payload, delivered)
-        next_active = []
-        for v in active:
-            algorithm.receive(contexts[v], inboxes[v])
-            if contexts[v].halted:
-                halt_rounds[v] = rounds
-                if tracer is not None:
-                    tracer.on_halt(v, rounds, contexts[v].output)
-            else:
-                next_active.append(v)
-        active = next_active
-        if tracer is not None:
-            tracer.on_round_end(rounds)
-
-    result = ExecutionResult(
-        outputs=[contexts[v].output for v in graph.nodes()],
-        halt_rounds=halt_rounds,
-        rounds=max((r for r in halt_rounds if r is not None), default=0),
+    report = DirectEngine().run(
+        SimRequest(
+            kind="local",
+            graph=graph,
+            algorithm=algorithm,
+            ids=ids,
+            inputs=inputs,
+            orientation=orientation,
+            rng=rng,
+            deterministic=deterministic,
+            max_rounds=max_rounds,
+        ),
+        tracer=tracer,
     )
-    if tracer is not None:
-        tracer.on_run_end(result.rounds)
-    return result
+    return report.to_execution_result()
 
 
 def run_view_algorithm(
@@ -217,44 +149,31 @@ def run_view_algorithm(
     materialized ball (the view engine's bandwidth analogue).
 
     ``view_cache`` switches to the canonical-view memoization engine
-    (:func:`~repro.local_model.cache.run_view_algorithm_cached`), which
-    evaluates each distinct view class once and produces the exact same
-    result: pass a :class:`~repro.local_model.cache.ViewCache` to keep
-    (and inspect) the memo table, or ``True`` for a fresh per-run cache.
+    (:class:`~repro.core.cached.CachedEngine`), which evaluates each
+    distinct view class once and produces the exact same result: pass a
+    :class:`~repro.local_model.cache.ViewCache` to keep (and inspect)
+    the memo table, or ``True`` for a fresh per-run cache.
     """
-    if view_cache is not None and view_cache is not False:
-        from .cache import ViewCache, run_view_algorithm_cached
+    from ..core.cached import CachedEngine
+    from ..core.direct import DirectEngine
+    from ..core.engine import SimRequest
 
-        return run_view_algorithm_cached(
-            graph,
-            algorithm,
+    if view_cache is not None and view_cache is not False:
+        engine = CachedEngine(
+            cache=None if view_cache is True else view_cache
+        )
+    else:
+        engine = DirectEngine()
+    report = engine.run(
+        SimRequest(
+            kind="view",
+            graph=graph,
+            algorithm=algorithm,
             ids=ids,
             inputs=inputs,
             randomness=randomness,
             orientation=orientation,
-            tracer=tracer,
-            cache=None if view_cache is True else view_cache,
-        )
-    tracer = effective_tracer(tracer)
-    if tracer is not None:
-        tracer.on_run_start("view", algorithm.name, graph.n)
-    outputs = []
-    for v in graph.nodes():
-        view = gather_view(
-            graph,
-            v,
-            algorithm.radius,
-            ids=ids,
-            inputs=inputs,
-            randomness=randomness,
-            orientation=orientation,
-        )
-        if tracer is not None:
-            tracer.on_view(v, view.radius, view.node_count, len(view.edges))
-        outputs.append(algorithm.output(view))
-    t = algorithm.radius
-    if tracer is not None:
-        tracer.on_run_end(t)
-    return ExecutionResult(
-        outputs=outputs, halt_rounds=[t] * graph.n, rounds=t
+        ),
+        tracer=tracer,
     )
+    return report.to_execution_result()

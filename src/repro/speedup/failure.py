@@ -18,7 +18,11 @@ The probability is therefore
     p = E_sigma [ prod_over_branches Pr[branch agrees | sigma] ]
 
 computed with exact rational arithmetic.  When the conditioning space
-is too large, a seeded Monte Carlo estimator takes over.
+is too large, a seeded Monte Carlo estimator takes over; its default
+seed comes from :func:`repro.core.derive_seed` labeled by the
+algorithm's name, the same sha256 scheme the experiment runner and the
+sharded engine use, so every estimate in the repo is reproducible from
+one base seed.
 """
 
 from __future__ import annotations
@@ -29,11 +33,17 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.engine import derive_seed
 from ..local_model.cache import ball_assignment_key
 from .algorithms import EdgeAlgorithm, NodeAlgorithm
-from .ball import EdgeBall, OrientedBall, inverse
+from .ball import OrientedBall
 
 __all__ = ["FailureEstimate", "node_local_failure", "edge_local_failure"]
+
+
+def _default_rng(label: str) -> random.Random:
+    """Monte Carlo rng seeded by the core's sha256 label scheme."""
+    return random.Random(derive_seed(0, label))
 
 
 @dataclass
@@ -153,7 +163,7 @@ def node_local_failure(
         fail /= values**inner.size
         return FailureEstimate(probability=fail, exact=True)
 
-    rng = rng or random.Random(0)
+    rng = rng or _default_rng(f"node-failure:{alg.name}")
     hits = 0
     for _ in range(samples):
         assignment = tuple(rng.randrange(values) for _ in range(outer.size))
@@ -250,7 +260,7 @@ def edge_local_failure(
         fail /= values**known.size
         return FailureEstimate(probability=fail, exact=True)
 
-    rng = rng or random.Random(0)
+    rng = rng or _default_rng(f"edge-failure:{alg.name}")
     hits = 0
     for _ in range(samples):
         assignment = tuple(rng.randrange(values) for _ in range(outer.size))

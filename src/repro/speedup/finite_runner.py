@@ -19,12 +19,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
 from ..instrumentation.tracer import Tracer, effective_tracer
-from ..local_model.cache import ball_assignment_key
 from .algorithms import NodeAlgorithm
 from .ball import Word
 
@@ -124,36 +123,27 @@ def run_node_algorithm_on_oriented_graph(
     ValueError
         Propagated from :func:`resolve_ball_tables` when the graph is
         not locally tree-like at the algorithm's radius.
-    """
-    if len(values) != graph.n:
-        raise ValueError("need one random value per node")
-    if any(not 0 <= x < alg.values for x in values):
-        raise ValueError(f"values must lie in [0, {alg.values})")
-    if tables is None:
-        tables = resolve_ball_tables(alg, graph, orientation)
 
-    tracer = effective_tracer(tracer)
-    if tracer is not None:
-        tracer.on_run_start("finite", alg.name, graph.n)
-        ball_size = len(alg.ball.words)
-        for v in graph.nodes():
-            tracer.on_view(v, alg.t, ball_size, max(0, ball_size - 1))
-    before = alg.cache.stats.copy() if tracer is not None else None
-    outputs: List[object] = [
-        alg.evaluate(ball_assignment_key(values, tables[v])) for v in graph.nodes()
-    ]
-    failing = [
-        v
-        for v in graph.nodes()
-        if graph.degree(v) > 0
-        and all(outputs[u] == outputs[v] for u in graph.neighbors(v))
-    ]
-    if tracer is not None:
-        # The algorithm's assignment cache outlives the run; report
-        # only the lookups this run contributed.
-        tracer.on_cache("finite", alg.cache.stats.delta(before).to_dict())
-        tracer.on_run_end(alg.t)
-    return FiniteRunResult(outputs=outputs, failing_nodes=failing)
+    The evaluation loop lives behind the engine seam (the ``"finite"``
+    request kind of :class:`~repro.core.direct.DirectEngine`); this
+    entry point is a signature-stable adapter over
+    :func:`repro.core.simulate`.
+    """
+    from ..core.direct import DirectEngine
+    from ..core.engine import SimRequest
+
+    report = DirectEngine().run(
+        SimRequest(
+            kind="finite",
+            graph=graph,
+            algorithm=alg,
+            orientation=orientation,
+            values=values,
+            tables=tables,
+        ),
+        tracer=tracer,
+    )
+    return report.to_finite_result()
 
 
 def estimate_global_success(

@@ -16,14 +16,16 @@ the lemma from the previous stage — so tests and benches can assert
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, List, Optional
+from typing import List, Optional
 
 from ..analysis.towers import TowerNumber
+from ..core.engine import derive_seed
 from ..instrumentation.tracer import Tracer, effective_tracer
 
-from .algorithms import EdgeAlgorithm, NodeAlgorithm
+from .algorithms import NodeAlgorithm
 from .failure import FailureEstimate, edge_local_failure, node_local_failure
 from .transform import (
     first_lemma_bound,
@@ -77,6 +79,7 @@ def run_speedup_pipeline(
     samples: int = 100_000,
     threshold_override: Optional[Fraction] = None,
     tracer: Optional[Tracer] = None,
+    base_seed: int = 0,
 ) -> SpeedupPipelineResult:
     """Iterate first/second speedup until the node radius hits zero.
 
@@ -96,10 +99,19 @@ def run_speedup_pipeline(
         Optional :class:`~repro.instrumentation.Tracer`; sees one
         :meth:`~repro.instrumentation.Tracer.on_stage` per ladder rung
         (kind, radius, measured failure, lemma bound).
+    base_seed:
+        Base seed for Monte Carlo stages; each stage's rng is derived
+        via :func:`repro.core.derive_seed` labeled by the stage index
+        and algorithm name, so stage estimates are independent and the
+        whole ladder is reproducible from one integer.  Ignored when
+        every stage evaluates exactly.
     """
     tracer = effective_tracer(tracer)
     if tracer is not None:
         tracer.on_run_start("pipeline", start.name, start.t)
+
+    def stage_rng(index: int, name: str) -> random.Random:
+        return random.Random(derive_seed(base_seed, f"pipeline:{index}:{name}"))
 
     def note(stage: PipelineStage) -> None:
         if tracer is not None:
@@ -116,7 +128,8 @@ def run_speedup_pipeline(
 
     result = SpeedupPipelineResult()
     node = start
-    p = node_local_failure(node, method=method, samples=samples)
+    p = node_local_failure(node, method=method, samples=samples,
+                           rng=stage_rng(0, node.name))
     result.stages.append(
         PipelineStage(
             kind="node",
@@ -136,7 +149,8 @@ def run_speedup_pipeline(
         p_val = p.as_float()
         f1 = threshold_override or paper_threshold_first(p_val, c, delta)
         edge = first_speedup(node, f1)
-        p_edge = edge_local_failure(edge, method=method, samples=samples)
+        p_edge = edge_local_failure(edge, method=method, samples=samples,
+                                    rng=stage_rng(len(result.stages), edge.name))
         result.stages.append(
             PipelineStage(
                 kind="edge",
@@ -154,7 +168,8 @@ def run_speedup_pipeline(
         p_edge_val = p_edge.as_float()
         f2 = threshold_override or paper_threshold_second(p_edge_val, c_edge, delta)
         node = second_speedup(edge, f2)
-        p = node_local_failure(node, method=method, samples=samples)
+        p = node_local_failure(node, method=method, samples=samples,
+                               rng=stage_rng(len(result.stages), node.name))
         result.stages.append(
             PipelineStage(
                 kind="node",

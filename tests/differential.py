@@ -1,9 +1,11 @@
-"""Differential harness: the canonical-view cache must be *exact*.
+"""Differential harness: every engine backend must be *exact*.
 
 The cache (:mod:`repro.local_model.cache`) claims that keying on the
 canonical view signature and broadcasting one computed output per
 distinct view class is indistinguishable from running the algorithm at
-every node.  This module turns that claim into an executable oracle:
+every node; the sharded engine (:mod:`repro.core.sharded`) makes the
+same claim for its dedup-and-pool evaluation plan.  This module turns
+both claims into an executable oracle:
 
 * :func:`grid` enumerates a (algorithm × graph family × radius ×
   labeling) case grid — id-driven, anonymous, and randomness-driven
@@ -13,12 +15,17 @@ every node.  This module turns that claim into an executable oracle:
   fresh :class:`~repro.local_model.ViewCache`;
 * :func:`assert_identical` demands the two
   :class:`~repro.local_model.ExecutionResult`s agree **bit for bit** —
-  outputs, halt rounds, and round count.
+  outputs, halt rounds, and round count;
+* :func:`run_case_backends` / :func:`run_edge_case_backends` run the
+  same case once per :mod:`repro.core` backend (direct, cached,
+  sharded) and return the :class:`~repro.core.SimReport`s, whose
+  ``identity()`` projections must coincide.
 
 ``tests/test_differential.py`` parametrizes over the full grid;
-``python -m tests.differential`` (with ``src`` on the path) runs it
-standalone and prints a per-case table, which is handy when a cache
-change needs forensic rather than pass/fail output.
+``tests/test_engine_backends.py`` adds the three-backend comparison;
+``python -m tests.differential`` (with ``src`` on the path) runs both
+standalone and prints a per-case table, which is handy when a cache or
+backend change needs forensic rather than pass/fail output.
 
 Every case derives its labelings from ``sha256(case_id)``, so the grid
 is deterministic across processes, job counts, and Python hash seeds.
@@ -29,9 +36,10 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.algorithms.view_rules import make_view_rule
+from repro.core import SimRequest, simulate
 from repro.graphs import (
     balanced_regular_tree,
     caterpillar,
@@ -49,12 +57,20 @@ from repro.local_model.network import run_view_algorithm
 
 __all__ = [
     "Case",
+    "BACKENDS",
     "GRAPH_FAMILIES",
     "grid",
     "run_case",
+    "run_case_backends",
+    "run_edge_case_backends",
     "assert_identical",
+    "assert_reports_identical",
     "run_grid",
 ]
+
+#: Every interchangeable :mod:`repro.core` backend, in comparison order
+#: (``direct`` first: it is the reference semantics).
+BACKENDS = ("direct", "cached", "sharded")
 
 #: name -> zero-argument graph builder.  Sizes are chosen so the whole
 #: grid stays in CI-friendly territory while still covering high-girth,
@@ -157,6 +173,45 @@ def assert_identical(direct: Any, cached: Any, case: Case) -> None:
 
 
 # ----------------------------------------------------------------------
+# Three-backend comparison (direct vs cached vs sharded SimReports)
+# ----------------------------------------------------------------------
+
+def build_request(case: Case) -> SimRequest:
+    """The :class:`~repro.core.SimRequest` for one grid case."""
+    graph = GRAPH_FAMILIES[case.graph]()
+    rule = make_view_rule(case.rule, radius=case.radius)
+    ids, randomness = _labelings(case, graph)
+    return SimRequest(
+        kind="view",
+        graph=graph,
+        algorithm=rule,
+        ids=ids,
+        randomness=randomness,
+        label=case.case_id,
+    )
+
+
+def run_case_backends(case: Case) -> Dict[str, Any]:
+    """Run one case through every backend; backend name -> SimReport."""
+    return {
+        backend: simulate(build_request(case), engine=backend)
+        for backend in BACKENDS
+    }
+
+
+def assert_reports_identical(reports: Dict[str, Any], label: str) -> None:
+    """All reports share the direct report's ``identity()`` projection."""
+    reference = reports["direct"].identity()
+    for backend, report in reports.items():
+        assert report.backend == backend, (
+            f"{label}: report from {backend!r} claims backend {report.backend!r}"
+        )
+        assert report.identity() == reference, (
+            f"{label}: backend {backend!r} diverges from direct"
+        )
+
+
+# ----------------------------------------------------------------------
 # Edge-model differential cases (B_t(e) = B_{t-1}(u) ∪ B_{t-1}(v))
 # ----------------------------------------------------------------------
 
@@ -169,21 +224,46 @@ def edge_cases() -> List[Tuple[str, int]]:
     ]
 
 
-def run_edge_case(graph_name: str, rounds: int) -> Tuple[Any, Any]:
-    """One edge-view algorithm, cached vs direct, on one graph."""
+def _edge_profile_output(view: Any) -> Tuple[int, int, int]:
+    """Edge output: ball size, edge count, minimum randomness.
+
+    A module-level function (not a lambda) so the algorithm pickles and
+    the sharded backend can ship it to pool workers.
+    """
+    return (view.node_count, len(view.edges), min(view.randomness))
+
+
+def _edge_case_inputs(graph_name: str, rounds: int):
     graph = GRAPH_FAMILIES[graph_name]()
     rng = random.Random(rounds * 1009 + len(graph_name))
     randomness = [rng.getrandbits(12) for _ in graph.nodes()]
     alg = EdgeViewAlgorithm(
-        rounds,
-        lambda view: (view.node_count, len(view.edges), min(view.randomness)),
-        name=f"edge-profile-t{rounds}",
+        rounds, _edge_profile_output, name=f"edge-profile-t{rounds}"
     )
+    return graph, alg, randomness
+
+
+def run_edge_case(graph_name: str, rounds: int) -> Tuple[Any, Any]:
+    """One edge-view algorithm, cached vs direct, on one graph."""
+    graph, alg, randomness = _edge_case_inputs(graph_name, rounds)
     direct = run_edge_view_algorithm(graph, alg, randomness=randomness)
     cached = run_edge_view_algorithm(
         graph, alg, randomness=randomness, view_cache=True
     )
     return direct, cached
+
+
+def run_edge_case_backends(graph_name: str, rounds: int) -> Dict[str, Any]:
+    """One edge case through every backend; backend name -> SimReport."""
+    graph, alg, randomness = _edge_case_inputs(graph_name, rounds)
+    request = SimRequest(
+        kind="edge",
+        graph=graph,
+        algorithm=alg,
+        randomness=randomness,
+        label=f"edge-t{rounds}-{graph_name}",
+    )
+    return {backend: simulate(request, engine=backend) for backend in BACKENDS}
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +295,17 @@ def run_grid(verbose: bool = True) -> int:
                 f"  edge-t{rounds}-{graph_name:<32s} "
                 f"{'ok' if ok else 'FAIL'}"
             )
+        try:
+            assert_reports_identical(
+                run_edge_case_backends(graph_name, rounds),
+                f"edge-t{rounds}-{graph_name}",
+            )
+            backend_status = "backends ok"
+        except AssertionError as exc:
+            failures += 1
+            backend_status = f"backends FAIL ({exc})"
+        if verbose:
+            print(f"  edge-t{rounds}-{graph_name:<32s} {backend_status}")
     return failures
 
 

@@ -1,0 +1,234 @@
+"""Unit tests for the :mod:`repro.core` registry and engine seam.
+
+Two surfaces:
+
+* the :class:`~repro.core.Registry` mechanics — decorator registration,
+  duplicate handling, error messages, builtin population, and graph
+  construction from experiment params;
+* the :func:`~repro.core.simulate` facade plumbing — request
+  validation, seed derivation, backend resolution, and the legacy
+  entry-point signatures the refactor promised to keep intact.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    ENGINE_NAMES,
+    GRAPH_FAMILIES,
+    PROBLEMS,
+    REPORTS,
+    CachedEngine,
+    DirectEngine,
+    Registry,
+    RegistryError,
+    ShardedEngine,
+    SimRequest,
+    build_graph,
+    derive_seed,
+    ensure_builtins,
+    resolve_engine,
+    simulate,
+)
+from repro.graphs import cycle
+
+
+# ----------------------------------------------------------------------
+# Registry mechanics
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_register_and_create(self):
+        reg = Registry("widget")
+
+        @reg.register("box", size=3)
+        class Box:
+            """A box."""
+
+            def __init__(self, lid=False):
+                self.lid = lid
+
+        entry = reg.get("box")
+        assert entry.name == "box"
+        assert entry.metadata["size"] == 3
+        assert entry.description == "A box."
+        assert isinstance(reg.create("box", lid=True), Box)
+        assert reg.create("box", lid=True).lid is True
+        assert "box" in reg
+        assert reg.names() == ("box",)
+
+    def test_duplicate_name_rejected_unless_replace(self):
+        reg = Registry("widget")
+        reg.add("x", factory=lambda: 1)
+        with pytest.raises(RegistryError):
+            reg.add("x", factory=lambda: 2)
+        reg.add("x", factory=lambda: 2, replace=True)
+        assert reg.create("x") == 2
+
+    def test_unknown_name_error_lists_known_names(self):
+        reg = Registry("widget")
+        reg.add("alpha", factory=lambda: 1)
+        reg.add("beta", factory=lambda: 2)
+        with pytest.raises(RegistryError) as exc:
+            reg.get("gamma")
+        message = str(exc.value)
+        assert "gamma" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_registry_error_is_a_key_error(self):
+        # Callers that guarded string dispatch with KeyError keep working.
+        assert issubclass(RegistryError, KeyError)
+
+    def test_entries_are_sorted_by_name(self):
+        reg = Registry("widget")
+        reg.add("zeta", factory=lambda: 1)
+        reg.add("alpha", factory=lambda: 2)
+        assert [e.name for e in reg.entries()] == ["alpha", "zeta"]
+
+
+class TestBuiltins:
+    def test_builtin_algorithms_present(self):
+        ensure_builtins()
+        names = set(ALGORITHMS.names())
+        assert {"local-max", "random-priority", "ball-signature",
+                "degree-profile"} <= names
+        assert {"luby-mis", "cole-vishkin-mp",
+                "randomized-weak-coloring"} <= names
+
+    def test_builtin_graph_families_present(self):
+        ensure_builtins()
+        assert {"cycle", "path", "tree", "torus", "star", "caterpillar",
+                "clique", "hypercube"} <= set(GRAPH_FAMILIES.names())
+
+    def test_builtin_problems_present(self):
+        ensure_builtins()
+        assert {"weak-coloring", "proper-coloring", "mis",
+                "weak-edge-coloring", "sinkless-orientation",
+                "maximal-matching"} <= set(PROBLEMS.names())
+
+    def test_builtin_reports_present_and_lazy_factories_work(self):
+        ensure_builtins()
+        assert {"table1", "logstar-sweep", "theorem4",
+                "cycle-trichotomy"} <= set(REPORTS.names())
+        spec = REPORTS.get("table1").create()
+        assert callable(spec.fn) and callable(spec.verdict)
+
+    def test_algorithm_metadata_drives_cell_resolution(self):
+        ensure_builtins()
+        entry = ALGORITHMS.get("luby-mis")
+        assert entry.metadata["kind"] == "local"
+        assert entry.metadata["needs_ids"] is True
+        problem_name, problem_kwargs = entry.metadata["verifier"]
+        assert problem_name == "mis"
+        assert PROBLEMS.create(problem_name, **problem_kwargs) is not None
+
+    def test_build_graph_from_params(self):
+        g = build_graph({"graph": "cycle", "n": 12, "unrelated": "x"})
+        assert g.n == 12
+        g = build_graph({"graph": "tree", "delta": 3, "depth": 2})
+        assert g.degree(0) == 3
+
+    def test_build_graph_missing_param_raises(self):
+        with pytest.raises(RegistryError):
+            build_graph({"graph": "cycle"})
+
+
+# ----------------------------------------------------------------------
+# Engine seam plumbing
+# ----------------------------------------------------------------------
+
+class TestEngineSeam:
+    def test_engine_names_cover_all_backends(self):
+        assert ENGINE_NAMES == ("direct", "cached", "sharded")
+
+    def test_resolve_engine(self):
+        assert isinstance(resolve_engine(None), DirectEngine)
+        assert isinstance(resolve_engine("direct"), DirectEngine)
+        assert isinstance(resolve_engine("cached"), CachedEngine)
+        assert isinstance(resolve_engine("sharded"), ShardedEngine)
+        engine = DirectEngine()
+        assert resolve_engine(engine) is engine
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+        assert 0 <= derive_seed(0, "a") < 2 ** 64
+
+    def test_derive_seed_matches_runner_cell_scheme(self):
+        from repro.experiments.runner import derive_cell_seed
+
+        assert derive_cell_seed(7, "cell") == derive_seed(7, "cell")
+
+    def test_request_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SimRequest(kind="quantum", graph=cycle(4), algorithm=None)
+
+    def test_resolved_rng_precedence(self):
+        graph = cycle(4)
+        explicit = random.Random(3)
+        request = SimRequest(kind="view", graph=graph, algorithm=None,
+                             rng=explicit, seed=5, label="x")
+        assert request.resolved_rng() is explicit
+        seeded = SimRequest(kind="view", graph=graph, algorithm=None,
+                            seed=5, label="x")
+        expected = random.Random(derive_seed(5, "x"))
+        assert seeded.resolved_rng().random() == expected.random()
+
+    def test_sharded_engine_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedEngine(shards=0)
+
+    def test_simulate_reports_backend_name(self):
+        from repro.algorithms.view_rules import make_view_rule
+
+        request = SimRequest(kind="view", graph=cycle(8),
+                             algorithm=make_view_rule("ball-signature", radius=1))
+        for name in ENGINE_NAMES:
+            assert simulate(request, engine=name).backend == name
+
+
+class TestLegacySignatures:
+    """The refactor's compatibility promise, pinned as tests."""
+
+    def test_run_local_signature(self):
+        from repro.local_model.network import run_local
+
+        params = list(inspect.signature(run_local).parameters)
+        assert params == ["graph", "algorithm", "ids", "inputs",
+                          "orientation", "rng", "deterministic",
+                          "max_rounds", "tracer"]
+
+    def test_run_view_algorithm_signature(self):
+        from repro.local_model.network import run_view_algorithm
+
+        params = list(inspect.signature(run_view_algorithm).parameters)
+        assert params == ["graph", "algorithm", "ids", "inputs",
+                          "randomness", "orientation", "tracer",
+                          "view_cache"]
+
+    def test_run_edge_view_algorithm_signature(self):
+        from repro.local_model.edge_model import run_edge_view_algorithm
+
+        params = list(inspect.signature(run_edge_view_algorithm).parameters)
+        assert params == ["graph", "algorithm", "ids", "inputs",
+                          "randomness", "orientation", "tracer",
+                          "view_cache"]
+
+    def test_finite_runner_signature(self):
+        from repro.speedup.finite_runner import (
+            run_node_algorithm_on_oriented_graph,
+        )
+
+        params = list(
+            inspect.signature(run_node_algorithm_on_oriented_graph).parameters
+        )
+        assert params == ["alg", "graph", "orientation", "values", "tables",
+                          "tracer"]

@@ -178,3 +178,78 @@ class TestRecurrenceExperiment:
         floor4 = result.floor_rows[0]["floor_log2"]
         floor8 = result.floor_rows[1]["floor_log2"]
         assert floor8 < floor4
+
+
+class TestListCLI:
+    """``python -m repro.experiments --list`` prints the registries."""
+
+    def test_list_exits_zero_and_prints_sections(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("algorithms:", "graph families:", "LCL problems:",
+                        "report specs:", "engine backends:"):
+            assert section in out
+
+    def test_list_names_every_registered_component(self, capsys):
+        from repro.core import (
+            ALGORITHMS,
+            GRAPH_FAMILIES,
+            PROBLEMS,
+            REPORTS,
+            ensure_builtins,
+        )
+        from repro.experiments.__main__ import main
+
+        ensure_builtins()
+        main(["--list"])
+        out = capsys.readouterr().out
+        for registry in (ALGORITHMS, GRAPH_FAMILIES, PROBLEMS, REPORTS):
+            for name in registry.names():
+                assert name in out
+        for backend in ("direct", "cached", "sharded"):
+            assert backend in out
+
+    def test_list_does_not_run_any_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "SUMMARY" not in out
+
+
+class TestArtifactPathHardening:
+    """Cell ids never choose a file outside the artifact directory."""
+
+    def test_plain_cell_id_is_a_direct_child(self, tmp_path):
+        from repro.experiments.runner import _artifact_path
+
+        path = _artifact_path(str(tmp_path), "luby-c16-s0")
+        assert path == str(tmp_path / "luby-c16-s0.json")
+
+    def test_traversal_components_are_neutralized(self, tmp_path):
+        import os
+
+        from repro.experiments.runner import _artifact_path
+
+        for hostile in ("../escape", "../../etc/passwd", "a/../../b",
+                        "..\\windows", "/etc/passwd", "nested/dir/cell",
+                        "////"):
+            path = _artifact_path(str(tmp_path), hostile)
+            assert os.path.dirname(os.path.abspath(path)) == str(tmp_path)
+
+    def test_all_dot_cell_id_rejected(self, tmp_path):
+        from repro.experiments.runner import _artifact_path
+
+        for hostile in ("..", ".", "...", ""):
+            with pytest.raises(ValueError):
+                _artifact_path(str(tmp_path), hostile)
+
+    def test_hidden_file_names_are_unhidden(self, tmp_path):
+        import os
+
+        from repro.experiments.runner import _artifact_path
+
+        path = _artifact_path(str(tmp_path), ".hidden")
+        assert not os.path.basename(path).startswith(".")

@@ -197,6 +197,40 @@ class TestSizeEstimation:
 
 
 class TestJsonRoundTrips:
+    def test_from_dict_ignores_unknown_keys(self):
+        # An artifact written by a newer version (extra counters) must
+        # load on this one rather than raise TypeError.
+        graph = cycle(12)
+        tracer = MetricsTracer()
+        run_local(graph, Broadcast(2), tracer=tracer)
+        data = tracer.metrics.to_dict()
+        data["counter_from_the_future"] = 42
+        data["per_round"] = [
+            {**r, "novel_round_field": 1} for r in data["per_round"]
+        ]
+        restored = RunMetrics.from_dict(data)
+        assert restored == tracer.metrics
+
+    def test_cache_and_shard_counters_round_trip(self):
+        from repro.algorithms.view_rules import BallSignatureColoring
+        from repro.core import SimRequest, simulate
+
+        graph = balanced_regular_tree(3, 3)
+        tracer = MetricsTracer(per_round=False)
+        request = SimRequest(kind="view", graph=graph,
+                             algorithm=BallSignatureColoring(radius=1))
+        simulate(request, engine="sharded", tracer=tracer)
+        data = json.loads(json.dumps(tracer.metrics.to_dict()))
+        restored = RunMetrics.from_dict(data)
+        assert restored.cache_lookups == tracer.metrics.cache_lookups == graph.n
+        assert restored.cache_hits == tracer.metrics.cache_hits
+        assert restored.cache_misses == tracer.metrics.cache_misses
+        assert restored.cache_distinct_classes == (
+            tracer.metrics.cache_distinct_classes
+        )
+        assert restored.cache_hit_rate == tracer.metrics.cache_hit_rate
+        assert restored.shards == tracer.metrics.shards > 0
+
     def test_metrics_round_trip(self):
         graph = balanced_regular_tree(3, 3)
         tracer = MetricsTracer()
