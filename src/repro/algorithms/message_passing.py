@@ -97,7 +97,20 @@ class ColeVishkinMP(LocalAlgorithm):
 
 
 @register_algorithm("luby-mis", kind="local", needs_ids=True,
-                    verifier=("mis", {}))
+                    solves=("mis", {}),
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 8)},
+                        {"graph": "caterpillar", "spine": (1, 6),
+                         "legs_per_node": (0, 3)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class LubyMIS(LocalAlgorithm):
     """Luby's randomized maximal independent set.
 
@@ -154,7 +167,22 @@ class LubyMIS(LocalAlgorithm):
             ctx.halt(True)
 
 
-@register_algorithm("greedy-sequential-coloring", kind="local", needs_ids=True)
+@register_algorithm("greedy-sequential-coloring", kind="local", needs_ids=True,
+                    solves=("proper-coloring",
+                            {"colors": "auto:max-degree+1"}),
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 6)},
+                        {"graph": "caterpillar", "spine": (1, 6),
+                         "legs_per_node": (0, 3)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class GreedySequentialColoring(LocalAlgorithm):
     """Greedy (Delta+1)-coloring by identifier priority.
 
@@ -200,7 +228,20 @@ class GreedySequentialColoring(LocalAlgorithm):
 
 
 @register_algorithm("randomized-weak-coloring", kind="local", needs_ids=False,
-                    verifier=("weak-coloring", {"colors": 2}))
+                    solves=("weak-coloring", {"colors": 2}),
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 8)},
+                        {"graph": "caterpillar", "spine": (1, 6),
+                         "legs_per_node": (0, 3)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation"))
 class RandomizedWeakColoring(LocalAlgorithm):
     """Anonymous randomized weak 2-coloring by retry.
 
@@ -263,7 +304,22 @@ class RandomizedWeakColoring(LocalAlgorithm):
 
 
 @register_algorithm("flood-leader-parity", kind="local", needs_ids=True,
-                    verifier=("proper-coloring", {"colors": 2}))
+                    solves=("proper-coloring", {"colors": 2}),
+                    # Bipartite-only domains: a 2-coloring exists exactly
+                    # on even cycles/tori, trees, and hypercubes.
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (4, 16, 2)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "caterpillar", "spine": (1, 6),
+                         "legs_per_node": (0, 3)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (4, 6, 2),
+                         "cols": (4, 6, 2)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class FloodLeaderParity(LocalAlgorithm):
     """Proper 2-coloring: flood the minimum identifier with distances.
 

@@ -48,7 +48,19 @@ __all__ = [
 ]
 
 
-@register_algorithm("local-max", kind="view", needs="ids")
+@register_algorithm("local-max", kind="view", needs="ids",
+                    fuzz_params={"radius": (1, 2)},
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 8)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class LocalMaximumRule(ViewAlgorithm):
     """Output 1 iff the center's identifier beats everyone in its ball.
 
@@ -76,7 +88,19 @@ class LocalMaximumRule(ViewAlgorithm):
         )
 
 
-@register_algorithm("random-priority", kind="view", needs="randomness")
+@register_algorithm("random-priority", kind="view", needs="randomness",
+                    fuzz_params={"radius": (1, 2)},
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 8)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class RandomPriorityRule(ViewAlgorithm):
     """Output 1 iff the center's random value strictly beats its ball.
 
@@ -107,7 +131,19 @@ class RandomPriorityRule(ViewAlgorithm):
         )
 
 
-@register_algorithm("ball-signature", kind="view", needs="none")
+@register_algorithm("ball-signature", kind="view", needs="none",
+                    fuzz_params={"radius": (1, 2)},
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    # NOT port-permutation invariant: the digest hashes
+                    # View.key(), which includes the port numbering.
+                    invariances=("determinism", "backend-identity"))
 class BallSignatureColoring(ViewAlgorithm):
     """Color the center by a stable digest of its whole view.
 
@@ -134,7 +170,19 @@ class BallSignatureColoring(ViewAlgorithm):
         return int.from_bytes(digest[:8], "big") % self.palette
 
 
-@register_algorithm("degree-profile", kind="view", needs="none")
+@register_algorithm("degree-profile", kind="view", needs="none",
+                    fuzz_params={"radius": (1, 2)},
+                    domains=(
+                        {"graph": "path", "n": (2, 16)},
+                        {"graph": "cycle", "n": (3, 16)},
+                        {"graph": "star", "leaves": (1, 8)},
+                        {"graph": "clique", "n": (2, 8)},
+                        {"graph": "tree", "delta": (2, 3), "depth": (1, 3)},
+                        {"graph": "torus", "rows": (3, 5), "cols": (3, 5)},
+                        {"graph": "hypercube", "dim": (1, 4)},
+                    ),
+                    invariances=("determinism", "backend-identity",
+                                 "port-permutation", "label-order"))
 class DegreeProfileRule(ViewAlgorithm):
     """Output the ball's degree histogram, layered by distance.
 

@@ -1,0 +1,87 @@
+"""Replayable repro artifacts for failing conformance cases.
+
+A repro artifact is one JSON file capturing a (usually shrunk) failing
+case: the contract snapshot, the explicit case spec, and the checks
+that failed.  :func:`replay_artifact` reconstructs the case and re-runs
+it through the fuzzer — the file is a complete bug report that
+re-executes.
+
+Artifacts follow the experiments runner's conventions: filenames go
+through :func:`repro.experiments.runner.artifact_path` (same
+sanitization, same directory layout), and the payload carries a
+``schema`` tag so future format changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from ..experiments.runner import artifact_path
+from .contracts import Contract, contract_for
+from .fuzzer import CaseResult, CaseSpec, CheckFailure, run_case
+
+__all__ = [
+    "REPRO_SCHEMA",
+    "write_repro_artifact",
+    "load_repro_artifact",
+    "replay_artifact",
+]
+
+#: Schema tag of conformance repro artifacts.
+REPRO_SCHEMA = "repro.conformance-repro/1"
+
+
+def write_repro_artifact(
+    directory: str,
+    contract: Contract,
+    case: CaseSpec,
+    failures: List[CheckFailure],
+) -> str:
+    """Write one repro artifact; returns the file path.
+
+    The filename is derived from the algorithm and seed through the
+    runner's sanitizer, so hostile algorithm names cannot escape
+    ``directory``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "schema": REPRO_SCHEMA,
+        "contract": contract.to_dict(),
+        "case": case.to_dict(),
+        "failures": [
+            {"check": f.check, "message": f.message} for f in failures
+        ],
+    }
+    path = artifact_path(
+        directory, f"conformance-repro-{contract.algorithm}-{case.seed}"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_repro_artifact(path: str) -> Tuple[Dict[str, Any], CaseSpec]:
+    """Parse one artifact into its raw payload and the case spec."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != REPRO_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown schema {schema!r} (expected {REPRO_SCHEMA!r})"
+        )
+    return payload, CaseSpec.from_dict(payload["case"])
+
+
+def replay_artifact(path: str) -> CaseResult:
+    """Re-run the case an artifact records, with all checks enabled.
+
+    The algorithm must be registered when replaying — for fixture
+    artifacts that means calling
+    :func:`repro.conformance.fixtures.register_broken_fixture` first
+    (``python -m repro.conformance --self-test`` does).
+    """
+    payload, case = load_repro_artifact(path)
+    return run_case(contract_for(case.algorithm), case)

@@ -41,6 +41,7 @@ that names the known entries, so a typo'd CLI flag fails usefully.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Mapping, Tuple
 
@@ -86,7 +87,26 @@ class RegistryEntry:
         return doc.strip().splitlines()[0] if doc.strip() else ""
 
     def create(self, **params: Any) -> Any:
-        """Invoke the factory with keyword parameters."""
+        """Invoke the factory with keyword parameters.
+
+        An unknown/missing keyword surfaces as :class:`RegistryError`
+        naming the factory's valid parameters — not as the factory's
+        bare ``TypeError`` — so a typo'd CLI flag or conformance-domain
+        entry fails with the fix in the message.  ``TypeError`` raised
+        *inside* a correctly-called factory body passes through.
+        """
+        try:
+            signature = inspect.signature(self.factory)
+        except (TypeError, ValueError):  # builtins without introspection
+            return self.factory(**params)
+        try:
+            signature.bind(**params)
+        except TypeError as exc:
+            valid = ", ".join(signature.parameters) or "<none>"
+            raise RegistryError(
+                f"cannot create {self.name!r}: {exc} "
+                f"(valid parameters: {valid})"
+            ) from None
         return self.factory(**params)
 
 
@@ -173,11 +193,14 @@ class Registry:
 #: consumes from a cell's parameter dict (see :func:`build_graph`).
 GRAPH_FAMILIES = Registry("graph family")
 
-#: Algorithms: ``kind="local"`` (message passing) or ``kind="view"``
-#: (functional view rules).  Local entries carry ``needs_ids`` and a
-#: ``verifier`` of the form ``(problem_name, kwargs)`` resolved through
-#: :data:`PROBLEMS`; view entries carry ``needs`` ("ids" / "randomness"
-#: / "none").
+#: Algorithms: ``kind="local"`` (message passing), ``kind="view"``
+#: (functional node-view rules), or ``kind="edge"`` (edge-view rules).
+#: Local entries carry ``needs_ids`` and view/edge entries carry
+#: ``needs`` ("ids" / "randomness" / "none").  Entries that solve an
+#: LCL declare ``solves=(problem_name, kwargs)`` resolved through
+#: :data:`PROBLEMS` (``verifier`` is the accepted legacy spelling);
+#: conformance-fuzzable entries add ``domains`` / ``fuzz_params`` /
+#: ``invariances`` — see ``docs/CONFORMANCE.md``.
 ALGORITHMS = Registry("algorithm")
 
 #: LCL problems (verifiers) from :mod:`repro.lcl.catalog`.
@@ -198,6 +221,7 @@ _BUILTIN_MODULES = (
     "repro.lcl.catalog",
     "repro.algorithms.message_passing",
     "repro.algorithms.view_rules",
+    "repro.algorithms.edge_rules",
     "repro.experiments.runner",
 )
 

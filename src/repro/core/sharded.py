@@ -25,11 +25,17 @@ labelings that cannot cross a process boundary (lambdas, closures), and
 runs already inside a daemonic worker (the experiment runner's
 ``--jobs`` pool cannot have children), are evaluated in-process with
 the same dedup-and-broadcast plan, and the report's ``info["pooled"]``
-says which path ran.  ``local`` requests
-(round-synchronous message passing) and ``finite`` requests (already
-memoized by the algorithm's own assignment cache) fall back to direct
-semantics.  Results are bit-identical to the other backends in every
-case — the differential suite proves it.
+says which path ran.  When the degraded path runs for a *reason* —
+unpicklable payload, forbidden fork, a worker that died or raised, a
+pool that stopped answering within ``timeout`` — the reason string is
+surfaced as ``info["degraded"]`` and fired through
+:meth:`~repro.instrumentation.tracer.Tracer.on_degraded`, so metrics
+and artifacts record every fallback (the conformance fault-injection
+suite, ``repro.conformance.faults``, asserts these paths).  ``local``
+requests (round-synchronous message passing) and ``finite`` requests
+(already memoized by the algorithm's own assignment cache) fall back to
+direct semantics.  Results are bit-identical to the other backends in
+every case — the differential suite proves it.
 
 :meth:`ShardedEngine.run_many` is the second axis the paper's workload
 offers: *independent* requests (cells, graphs) fan out over the pool
@@ -148,6 +154,14 @@ class ShardedEngine(DirectEngine):
     inner:
         Backend run *inside* each worker for :meth:`run_many`
         (``"direct"`` or ``"cached"``).
+    timeout:
+        Seconds to wait for the pool to answer one dispatched batch.
+        ``None`` (the default) waits forever — correct when workers are
+        trusted to either answer or raise.  A finite timeout buys crash
+        resilience: if a worker dies mid-shard (so its results never
+        arrive), the engine tears the pool down and re-evaluates
+        in-process instead of hanging, reporting
+        ``info["degraded"]``.
     """
 
     name = "sharded"
@@ -157,12 +171,16 @@ class ShardedEngine(DirectEngine):
         shards: Optional[int] = None,
         base_seed: int = 0,
         inner: str = "direct",
+        timeout: Optional[float] = None,
     ):
         if shards is not None and shards < 1:
             raise ValueError("shards must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.shards = shards or _default_shards()
         self.base_seed = base_seed
         self.inner = inner
+        self.timeout = timeout
         self._pool: Optional[Any] = None
 
     # -- pool lifecycle --------------------------------------------------
@@ -196,16 +214,44 @@ class ShardedEngine(DirectEngine):
             for i in range(count)
         ]
 
+    def _pool_map(
+        self,
+        worker: Callable[[Any], Any],
+        payloads: Sequence[Any],
+    ) -> List[Any]:
+        """``pool.map`` honoring :attr:`timeout`.
+
+        Raises whatever the workers raise; raises
+        :class:`multiprocessing.TimeoutError` when the pool does not
+        answer in time (the signature of a worker that died mid-shard —
+        its results will never arrive).
+        """
+        if self.timeout is None:
+            return self._get_pool().map(worker, payloads)
+        return self._get_pool().map_async(worker, payloads).get(self.timeout)
+
+    def _degradation_reason(self, shared: Any) -> Optional[str]:
+        """Why the pooled path cannot run, or ``None`` if it can."""
+        if not _can_fork():
+            return "no-fork"
+        if not _picklable(shared):
+            return "unpicklable"
+        return None
+
     def _evaluate_shards(
         self,
         request: SimRequest,
         reps: Sequence[Any],
         worker: Callable[[Tuple[Any, ...]], List[Any]],
         tracer: Optional[Tracer],
-    ) -> Tuple[List[Any], bool]:
+    ) -> Tuple[List[Any], bool, Optional[str]]:
         """Evaluate one representative per class, pooled when possible.
 
-        Returns ``(outputs_in_rep_order, pooled)``.
+        Returns ``(outputs_in_rep_order, pooled, degraded_reason)``.
+        ``degraded_reason`` is ``None`` on the happy paths (pooled, or
+        in-process merely because there is one chunk) and a short reason
+        string whenever the engine *wanted* the pool but could not use
+        it — see the module docstring's degradation contract.
         """
         chunks = _split(list(reps), self.shards)
         seeds = self._shard_seeds(request, len(chunks))
@@ -221,12 +267,29 @@ class ShardedEngine(DirectEngine):
             request.orientation,
         )
         payloads = [shared + (chunk,) for chunk in chunks]
-        pooled = len(chunks) > 1 and _can_fork() and _picklable(shared)
-        if pooled:
-            chunk_outputs = self._get_pool().map(worker, payloads)
-        else:
+        pooled, degraded = False, None
+        if len(chunks) > 1:
+            degraded = self._degradation_reason(shared)
+        if len(chunks) > 1 and degraded is None:
+            try:
+                chunk_outputs = self._pool_map(worker, payloads)
+                pooled = True
+            except Exception as exc:
+                # A worker died, raised, or the pool timed out: the pool
+                # state is unknown, so tear it down (a later run
+                # respawns it) and re-evaluate in-process — strictly
+                # less efficient, bit-identical by construction.
+                self.close()
+                degraded = f"pool-error: {type(exc).__name__}: {exc}"
+        if not pooled:
             chunk_outputs = [worker(payload) for payload in payloads]
-        return [out for chunk in chunk_outputs for out in chunk], pooled
+        if degraded is not None and tracer is not None:
+            tracer.on_degraded(self.name, degraded)
+        return (
+            [out for chunk in chunk_outputs for out in chunk],
+            pooled,
+            degraded,
+        )
 
     @staticmethod
     def _dedup_stats(lookups: int, distinct: int) -> Dict[str, Any]:
@@ -259,20 +322,23 @@ class ShardedEngine(DirectEngine):
             if key not in classes:
                 classes[key] = len(reps)
                 reps.append(v)
-        class_outputs, pooled = self._evaluate_shards(
+        class_outputs, pooled, degraded = self._evaluate_shards(
             request, reps, _eval_view_chunk, tracer
         )
         outputs = [class_outputs[classes[key]] for key in keys]
         if tracer is not None:
             tracer.on_cache("view", self._dedup_stats(graph.n, len(reps)))
             tracer.on_run_end(radius)
+        info: Dict[str, Any] = {"distinct_classes": len(reps), "pooled": pooled}
+        if degraded is not None:
+            info["degraded"] = degraded
         return SimReport(
             kind="view",
             outputs=outputs,
             halt_rounds=[radius] * graph.n,
             rounds=radius,
             backend=self.name,
-            info={"distinct_classes": len(reps), "pooled": pooled},
+            info=info,
         )
 
     # -- "edge": shard the distinct edge-ball classes -------------------
@@ -298,7 +364,7 @@ class ShardedEngine(DirectEngine):
             if key not in classes:
                 classes[key] = len(reps)
                 reps.append((u, v))
-        class_outputs, pooled = self._evaluate_shards(
+        class_outputs, pooled, degraded = self._evaluate_shards(
             request, reps, _eval_edge_chunk, tracer
         )
         outputs: Dict[Edge, Any] = {
@@ -308,12 +374,15 @@ class ShardedEngine(DirectEngine):
         if tracer is not None:
             tracer.on_cache("edge", self._dedup_stats(len(edges), len(reps)))
             tracer.on_run_end(algorithm.rounds)
+        info: Dict[str, Any] = {"distinct_classes": len(reps), "pooled": pooled}
+        if degraded is not None:
+            info["degraded"] = degraded
         return SimReport(
             kind="edge",
             outputs=outputs,
             rounds=algorithm.rounds,
             backend=self.name,
-            info={"distinct_classes": len(reps), "pooled": pooled},
+            info=info,
         )
 
     # -- batches: shard whole independent requests ----------------------
@@ -327,8 +396,9 @@ class ShardedEngine(DirectEngine):
         Each shard runs its requests through the ``inner`` backend in a
         worker process.  Requests that cannot be pickled (lambdas in
         algorithms, exotic labelings) force the serial in-process path
-        for the whole batch — correctness first, reported via the
-        tracer's shard events either way.
+        for the whole batch — correctness first — and every report in
+        the batch then carries the reason under ``info["degraded"]``,
+        mirroring the single-run contract.
         """
         tracer = effective_tracer(tracer)
         requests = list(requests)
@@ -339,9 +409,22 @@ class ShardedEngine(DirectEngine):
             for i, chunk in enumerate(chunks):
                 seed = derive_seed(self.base_seed, f"run-many:shard-{i}")
                 tracer.on_shard(i, len(chunk), seed)
-        if len(chunks) > 1 and _can_fork() and _picklable(requests):
+        degraded = None
+        if len(chunks) > 1:
+            degraded = self._degradation_reason(requests)
+        if len(chunks) > 1 and degraded is None:
             payloads = [(self.inner, chunk) for chunk in chunks]
-            chunk_reports = self._get_pool().map(_run_request_chunk, payloads)
-            return [report for chunk in chunk_reports for report in chunk]
+            try:
+                chunk_reports = self._pool_map(_run_request_chunk, payloads)
+                return [report for chunk in chunk_reports for report in chunk]
+            except Exception as exc:
+                self.close()
+                degraded = f"pool-error: {type(exc).__name__}: {exc}"
+        if degraded is not None and tracer is not None:
+            tracer.on_degraded(self.name, degraded)
         engine = resolve_engine(self.inner)
-        return [engine.run(request) for request in requests]
+        reports = [engine.run(request) for request in requests]
+        if degraded is not None:
+            for report in reports:
+                report.info["degraded"] = degraded
+        return reports

@@ -86,6 +86,7 @@ __all__ = [
     "ExperimentCell",
     "CellResult",
     "RunnerSummary",
+    "artifact_path",
     "derive_cell_seed",
     "execute_cell",
     "run_cells",
@@ -167,20 +168,29 @@ def _build_graph(params: Dict[str, Any]):
 def _make_algorithm(name: str):
     """Resolve ``(algorithm, verifier, needs_ids)`` through the registries.
 
-    The algorithm's ``verifier`` metadata — ``(problem_name, kwargs)`` —
-    names the LCL problem in :data:`PROBLEMS` that judges its output; a
-    registered algorithm without one is not runnable as a
-    ``local-algorithm`` cell.
+    The algorithm's ``solves`` metadata — ``(problem_name, kwargs)``,
+    with ``verifier`` as the accepted legacy spelling — names the LCL
+    problem in :data:`PROBLEMS` that judges its output; a registered
+    algorithm without one is not runnable as a ``local-algorithm`` cell.
+    ``"auto:..."`` kwarg values are conformance-layer conveniences
+    (resolved against a concrete graph) and are not runnable here.
     """
     ensure_builtins()
     entry = ALGORITHMS.get(name)
-    verifier_spec = entry.metadata.get("verifier")
-    if entry.metadata.get("kind") != "local" or verifier_spec is None:
+    solves = entry.metadata.get("solves", entry.metadata.get("verifier"))
+    if entry.metadata.get("kind") != "local" or solves is None:
         raise ValueError(
             f"algorithm {name!r} is not runnable as a local-algorithm cell "
             f"(kind={entry.metadata.get('kind')!r}, no registered verifier)"
         )
-    problem_name, problem_kwargs = verifier_spec
+    problem_name, problem_kwargs = solves
+    if any(isinstance(v, str) and v.startswith("auto:")
+           for v in problem_kwargs.values()):
+        raise ValueError(
+            f"algorithm {name!r} declares graph-dependent verifier "
+            f"parameters ({problem_kwargs}); run it through "
+            f"repro.conformance, which resolves them per graph"
+        )
     verifier = PROBLEMS.create(problem_name, **problem_kwargs)
     return entry.create(), verifier, bool(entry.metadata.get("needs_ids"))
 
@@ -486,6 +496,11 @@ def _artifact_path(directory: str, cell_id: str) -> str:
     if os.path.dirname(os.path.abspath(path)) != os.path.abspath(directory):
         raise ValueError(f"cell_id {cell_id!r} escapes the artifact directory")
     return path
+
+
+#: Public alias: the artifact-naming convention other subsystems reuse
+#: (``repro.conformance`` writes its repro artifacts through this).
+artifact_path = _artifact_path
 
 
 def write_artifacts(summary: RunnerSummary, directory: str) -> None:

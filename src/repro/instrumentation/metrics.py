@@ -58,7 +58,10 @@ class RunMetrics:
     Memoizing engines (the cached view engines, the finite runner's
     ball tables) populate the ``cache_*`` counters — one lookup per
     computing entity, each a hit or a miss; ``cache_hit_rate`` is the
-    fraction served from the cache.
+    fraction served from the cache.  The sharded engine populates
+    ``shards`` and, when it falls back to an in-process path,
+    ``degradations`` / ``degraded_reasons`` (see
+    :meth:`~repro.instrumentation.tracer.Tracer.on_degraded`).
     """
 
     engine: str = ""
@@ -79,6 +82,8 @@ class RunMetrics:
     cache_bytes: int = 0
     cache_distinct_classes: int = 0
     shards: int = 0
+    degradations: int = 0
+    degraded_reasons: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
     halt_histogram: Dict[int, int] = field(default_factory=dict)
     per_round: List[RoundMetrics] = field(default_factory=list)
@@ -110,6 +115,8 @@ class RunMetrics:
             "cache_distinct_classes": self.cache_distinct_classes,
             "cache_hit_rate": self.cache_hit_rate,
             "shards": self.shards,
+            "degradations": self.degradations,
+            "degraded_reasons": list(self.degraded_reasons),
             "wall_seconds": self.wall_seconds,
             # JSON objects have string keys; keep them sorted for diffs.
             "halt_histogram": {
@@ -229,6 +236,10 @@ class MetricsTracer(Tracer):
 
     def on_shard(self, index: int, items: int, seed: int) -> None:
         self.metrics.shards += 1
+
+    def on_degraded(self, engine: str, reason: str) -> None:
+        self.metrics.degradations += 1
+        self.metrics.degraded_reasons.append(reason)
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         self.metrics.trials += 1

@@ -120,6 +120,18 @@ class Tracer:
         seed (:func:`~repro.core.engine.derive_seed`'s scheme).
         """
 
+    def on_degraded(self, engine: str, reason: str) -> None:
+        """A backend fell back to a slower-but-correct execution path.
+
+        Fired by the sharded engine whenever the process pool cannot be
+        used (or stops responding) and the run continues in-process:
+        ``reason`` is a short machine-checkable string
+        (``"unpicklable"``, ``"no-fork"``, ``"pool-error: ..."``).
+        Degradation never changes results — only how they were computed
+        — and the matching :class:`~repro.core.SimReport` carries the
+        same reason under ``info["degraded"]``.
+        """
+
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         """One Monte Carlo trial of the finite runner finished."""
 
@@ -180,6 +192,10 @@ class MultiTracer(Tracer):
     def on_shard(self, index: int, items: int, seed: int) -> None:
         for t in self.tracers:
             t.on_shard(index, items, seed)
+
+    def on_degraded(self, engine: str, reason: str) -> None:
+        for t in self.tracers:
+            t.on_degraded(engine, reason)
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         for t in self.tracers:

@@ -84,6 +84,34 @@ class TestRegistry:
         # Callers that guarded string dispatch with KeyError keep working.
         assert issubclass(RegistryError, KeyError)
 
+    def test_unknown_kwarg_error_names_valid_parameters(self):
+        reg = Registry("widget")
+        reg.add("crate", factory=lambda size=1, lid=False: (size, lid))
+        with pytest.raises(RegistryError) as exc:
+            reg.create("crate", colour="red")
+        message = str(exc.value)
+        assert "crate" in message
+        assert "colour" in message
+        assert "valid parameters: size, lid" in message  # signature order
+
+    def test_type_error_raised_inside_factory_body_propagates(self):
+        # Only *signature* mismatches become RegistryError; a factory
+        # that itself raises TypeError must not be mislabeled.
+        def exploding(size=1):
+            raise TypeError("boom from the body")
+
+        reg = Registry("widget")
+        reg.add("bomb", factory=exploding)
+        with pytest.raises(TypeError, match="boom from the body"):
+            reg.create("bomb", size=2)
+
+    def test_uninspectable_factory_still_creates(self):
+        # Builtins like dict defeat inspect.signature on some versions;
+        # create() must fall through to a plain call, not crash.
+        reg = Registry("widget")
+        reg.add("mapping", factory=dict)
+        assert reg.create("mapping", a=1) == {"a": 1}
+
     def test_entries_are_sorted_by_name(self):
         reg = Registry("widget")
         reg.add("zeta", factory=lambda: 1)
@@ -123,7 +151,7 @@ class TestBuiltins:
         entry = ALGORITHMS.get("luby-mis")
         assert entry.metadata["kind"] == "local"
         assert entry.metadata["needs_ids"] is True
-        problem_name, problem_kwargs = entry.metadata["verifier"]
+        problem_name, problem_kwargs = entry.metadata["solves"]
         assert problem_name == "mis"
         assert PROBLEMS.create(problem_name, **problem_kwargs) is not None
 

@@ -1,0 +1,226 @@
+"""Mutation tests: every catalog verifier must pinpoint planted bugs.
+
+A verifier that always passes (or blames the wrong node) makes every
+downstream correctness claim vacuous — the conformance fuzzer, the
+experiment runner's verdicts, and the paper-facing tables all trust
+``verify``.  For each LCL in ``repro/lcl/catalog.py`` this table feeds
+one known-good labeling (must verify clean) and minimally-corrupted
+variants (must produce violations at *exactly* the expected nodes).
+"""
+
+import pytest
+
+import repro.lcl.catalog as catalog
+from repro.graphs.generators import complete_graph, path, star, toroidal_grid
+from repro.graphs.graph import edge_key
+from repro.graphs.orientation import orient_torus
+from repro.lcl.catalog import (
+    MaximalIndependentSet,
+    MaximalMatching,
+    ProperColoring,
+    ProperEdgeColoring,
+    SinklessOrientation,
+    WeakColoring,
+    WeakEdgeColoring,
+)
+
+
+def _torus_setup():
+    """4x4 torus, its natural orientation, and a good weak edge coloring.
+
+    Dimension-0 edges alternate color with the column of their low
+    endpoint (columns are even in number, so the alternation closes);
+    dimension-1 edges are monochromatic.  Every node then has a
+    bichromatic dimension 0, so the labeling is feasible — and
+    corrupting a single dimension-0 edge makes that dimension
+    monochromatic at both its endpoints.
+    """
+    rows = cols = 4
+    graph = toroidal_grid(rows, cols)
+    orientation = orient_torus(graph, rows, cols)
+    labeling = {}
+    for u, v in graph.edges():
+        dim = orientation.dim_of(u, v)
+        if dim == 0:
+            low = u if orientation.sign_at(u, v) == 1 else v
+            labeling[edge_key(u, v)] = (low % cols) % 2
+        else:
+            labeling[edge_key(u, v)] = 0
+    return graph, orientation, labeling
+
+
+def _corrupt_node(labeling, node, value):
+    mutated = list(labeling)
+    mutated[node] = value
+    return mutated
+
+
+def _corrupt_edge(labeling, u, v, value):
+    mutated = dict(labeling)
+    mutated[edge_key(u, v)] = value
+    return mutated
+
+
+# Each row: (case id, problem, graph, orientation, good labeling,
+#            corrupted labeling, nodes the violations must name).
+def _node_cases():
+    p3, p5, s3 = path(3), path(5), star(3)
+    return [
+        (
+            "weak-coloring/leaf-matches-center",
+            WeakColoring(2), s3, None,
+            [0, 1, 1, 1],
+            _corrupt_node([0, 1, 1, 1], 1, 0),
+            [1],
+        ),
+        (
+            "weak-coloring/unlabeled-node",
+            WeakColoring(2), s3, None,
+            [0, 1, 1, 1],
+            _corrupt_node([0, 1, 1, 1], 2, None),
+            [2],
+        ),
+        (
+            "weak-coloring/outside-palette",
+            WeakColoring(2), s3, None,
+            [0, 1, 1, 1],
+            _corrupt_node([0, 1, 1, 1], 3, 7),
+            [3],
+        ),
+        (
+            "proper-coloring/adjacent-same",
+            ProperColoring(2), p3, None,
+            [0, 1, 0],
+            _corrupt_node([0, 1, 0], 2, 1),
+            [1, 2],
+        ),
+        (
+            "proper-coloring/outside-palette",
+            ProperColoring(2), p3, None,
+            [0, 1, 0],
+            _corrupt_node([0, 1, 0], 0, 5),
+            [0],
+        ),
+        (
+            "mis/not-maximal",
+            MaximalIndependentSet(), p5, None,
+            [True, False, True, False, True],
+            _corrupt_node([True, False, True, False, True], 2, False),
+            [2],
+        ),
+        (
+            "mis/not-independent",
+            MaximalIndependentSet(), p5, None,
+            [True, False, True, False, True],
+            _corrupt_node([True, False, True, False, True], 1, True),
+            [0, 1, 2],
+        ),
+    ]
+
+
+def _edge_cases():
+    p4 = path(4)
+    k4 = complete_graph(4)
+    torus, torus_orientation, torus_good = _torus_setup()
+    # K4 oriented as the cycle 0->1->2->3->0 plus chords 0->2 and 1->3:
+    # every node has out-degree >= 1, so no sinks.
+    k4_good = {
+        edge_key(0, 1): 1,
+        edge_key(1, 2): 2,
+        edge_key(2, 3): 3,
+        edge_key(0, 3): 0,
+        edge_key(0, 2): 2,
+        edge_key(1, 3): 3,
+    }
+    matching_good = {
+        edge_key(0, 1): True,
+        edge_key(1, 2): False,
+        edge_key(2, 3): True,
+    }
+    return [
+        (
+            "weak-edge-coloring/monochromatic-dimension",
+            WeakEdgeColoring(2), torus, torus_orientation,
+            torus_good,
+            _corrupt_edge(torus_good, 0, 1, 1),
+            [0, 1],
+        ),
+        (
+            "weak-edge-coloring/unlabeled-edge",
+            WeakEdgeColoring(2), torus, torus_orientation,
+            torus_good,
+            _corrupt_edge(torus_good, 0, 1, None),
+            [0, 1],
+        ),
+        (
+            "sinkless-orientation/planted-sink",
+            SinklessOrientation(), k4, None,
+            k4_good,
+            _corrupt_edge(k4_good, 0, 3, 3),
+            [3],
+        ),
+        (
+            "sinkless-orientation/head-not-endpoint",
+            SinklessOrientation(), k4, None,
+            k4_good,
+            _corrupt_edge(k4_good, 0, 1, 9),
+            [0, 1],
+        ),
+        (
+            "proper-edge-coloring/shared-color",
+            ProperEdgeColoring(3), p4, None,
+            {edge_key(0, 1): 0, edge_key(1, 2): 1, edge_key(2, 3): 0},
+            {edge_key(0, 1): 0, edge_key(1, 2): 0, edge_key(2, 3): 0},
+            [1, 2],
+        ),
+        (
+            "maximal-matching/dropped-edge",
+            MaximalMatching(), p4, None,
+            matching_good,
+            _corrupt_edge(matching_good, 2, 3, False),
+            [2, 3],
+        ),
+        (
+            "maximal-matching/double-matched",
+            MaximalMatching(), p4, None,
+            matching_good,
+            _corrupt_edge(matching_good, 1, 2, True),
+            [1, 2],
+        ),
+    ]
+
+
+ALL_CASES = _node_cases() + _edge_cases()
+
+
+@pytest.mark.parametrize(
+    "problem,graph,orientation,good,corrupted,expected",
+    [case[1:] for case in ALL_CASES],
+    ids=[case[0] for case in ALL_CASES],
+)
+def test_verifier_pinpoints_planted_violation(
+    problem, graph, orientation, good, corrupted, expected
+):
+    assert problem.verify(graph, good, orientation) == []
+    violations = problem.verify(graph, corrupted, orientation)
+    assert sorted(v.where for v in violations) == expected
+    assert all(v.reason for v in violations)
+
+
+def test_every_catalog_problem_is_mutation_tested():
+    # Kills silent gaps: adding a problem to the catalog without a
+    # mutation row here must fail loudly.
+    tested = {type(case[1]).__name__ for case in ALL_CASES}
+    assert tested == set(catalog.__all__)
+
+
+def test_node_verify_rejects_wrong_length_labeling():
+    with pytest.raises(ValueError):
+        WeakColoring(2).verify(path(3), [0, 1])
+
+
+def test_isolated_node_is_vacuously_weakly_colored():
+    from repro.graphs.graph import Graph
+
+    lonely = Graph(1).freeze()
+    assert WeakColoring(2).verify(lonely, [0]) == []
