@@ -31,9 +31,16 @@ from .contracts import (
     contract_for,
 )
 from .faults import FaultOutcome, run_fault_suite
-from .fixtures import BROKEN_MIS, register_broken_fixture
+from .fixtures import (
+    BROKEN_CSR,
+    BROKEN_CSR_LAYOUT,
+    BROKEN_MIS,
+    register_broken_fixture,
+    register_broken_layout_fixture,
+)
 from .fuzzer import (
     BACKENDS,
+    LAYOUT_BACKENDS,
     CaseResult,
     CaseSpec,
     CheckFailure,
@@ -46,7 +53,10 @@ from .shrink import ShrinkResult, minimal_repro, shrink_case
 
 __all__ = [
     "BACKENDS",
+    "BROKEN_CSR",
+    "BROKEN_CSR_LAYOUT",
     "BROKEN_MIS",
+    "LAYOUT_BACKENDS",
     "KNOWN_INVARIANCES",
     "REPRO_SCHEMA",
     "CaseResult",
@@ -62,6 +72,7 @@ __all__ = [
     "materialize_case",
     "minimal_repro",
     "register_broken_fixture",
+    "register_broken_layout_fixture",
     "replay_artifact",
     "run_case",
     "run_fault_suite",

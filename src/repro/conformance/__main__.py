@@ -28,7 +28,12 @@ from typing import List, Optional
 
 from .artifact import replay_artifact, write_repro_artifact
 from .contracts import collect_contracts, contract_for
-from .fixtures import BROKEN_MIS, register_broken_fixture
+from .fixtures import (
+    BROKEN_CSR,
+    BROKEN_MIS,
+    register_broken_fixture,
+    register_broken_layout_fixture,
+)
 from .fuzzer import run_case, sample_cases
 from .shrink import shrink_case
 
@@ -67,7 +72,8 @@ def _list_contracts() -> int:
         print(
             f"{contract.algorithm:32s} kind={contract.kind:5s} {solves:28s} "
             f"domains={len(contract.domains)} "
-            f"invariances={','.join(contract.invariances)}"
+            f"invariances={','.join(contract.invariances)} "
+            f"layouts={','.join(contract.layouts) or '-'}"
         )
     return 0
 
@@ -151,7 +157,23 @@ def _run_self_test(args: argparse.Namespace) -> int:
         f"self-test ok: fixture caught, shrunk to {shrunk.nodes} nodes, "
         f"replayed from {path}"
     )
-    return 0
+    return _run_layout_self_test(args)
+
+
+def _run_layout_self_test(args: argparse.Namespace) -> int:
+    """Prove the layout axis catches a class-merging CSR expander."""
+    register_broken_layout_fixture()
+    contract = contract_for(BROKEN_CSR)
+    for _, case in sample_cases([contract], 20, args.seed):
+        result = run_case(contract, case)
+        if "layout-identity" in result.failed_checks():
+            print(
+                "self-test ok: broken CSR layout caught by layout-identity "
+                f"on {case.graph_family} n={case.graph_params.get('n')}"
+            )
+            return 0
+    print("self-test FAIL: broken CSR layout was never caught")
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

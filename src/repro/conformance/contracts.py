@@ -25,6 +25,12 @@ Declaration vocabulary (registry metadata keys):
     Algorithm-constructor parameters to sample, same range syntax.
 ``invariances=(...)``
     Checks from :data:`KNOWN_INVARIANCES` this entry promises.
+``layouts=(...)``
+    Graph layouts the fuzzer's ``layout-identity`` check runs the
+    ``view`` / ``edge`` kinds under (names from
+    :func:`repro.local_model.batch_views.known_layouts`).  Defaults to
+    every production layout — ``("dict", "csr")`` — for those kinds;
+    fixtures may name a registered broken layout instead.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.registry import ALGORITHMS, PROBLEMS, ensure_builtins
+from ..local_model.batch_views import LAYOUTS, known_layouts
 
 __all__ = [
     "KNOWN_INVARIANCES",
@@ -67,6 +74,9 @@ class Contract:
     domains: Tuple[Mapping[str, Any], ...]
     fuzz_params: Mapping[str, Any] = field(default_factory=dict)
     invariances: Tuple[str, ...] = ("determinism", "backend-identity")
+    #: Layouts the ``layout-identity`` check runs ``view``/``edge``
+    #: kinds under; empty for kinds without a layout axis.
+    layouts: Tuple[str, ...] = ()
 
     def verifier(self, graph: Any) -> Optional[Any]:
         """The LCL verifier instance judging outputs on ``graph``.
@@ -93,6 +103,7 @@ class Contract:
             if self.solves
             else None,
             "invariances": list(self.invariances),
+            "layouts": list(self.layouts),
         }
 
 
@@ -139,6 +150,14 @@ def _contract_from_entry(entry: Any) -> Optional[Contract]:
             f"algorithm {entry.name!r} declares unknown invariances "
             f"{unknown} (known: {KNOWN_INVARIANCES})"
         )
+    default_layouts = LAYOUTS if kind in ("view", "edge") else ()
+    layouts = tuple(metadata.get("layouts", default_layouts))
+    bad = [name for name in layouts if name not in known_layouts()]
+    if bad:
+        raise ValueError(
+            f"algorithm {entry.name!r} declares unregistered layouts "
+            f"{bad} (known: {known_layouts()})"
+        )
     return Contract(
         algorithm=entry.name,
         kind=kind,
@@ -148,6 +167,7 @@ def _contract_from_entry(entry: Any) -> Optional[Contract]:
         domains=domains,
         fuzz_params=dict(metadata.get("fuzz_params", {})),
         invariances=invariances,
+        layouts=layouts,
     )
 
 

@@ -12,6 +12,15 @@ seed, and explicit labelings.  :func:`run_case` runs it through
     "solution = locally verifiable labeling" made executable.
 ``backend-identity``
     All backends produce equal :meth:`~repro.core.SimReport.identity`.
+``layout-identity``
+    Every graph layout the contract declares (``layouts=``, default
+    ``("dict", "csr")`` for view/edge kinds) reproduces the base
+    report bit for bit — on the direct backend, which gathers each
+    ball over the layout's arrays, *and* on the cached backend, which
+    keys its memo table off the layout's class partition.  This is how
+    the fuzzer exercises the batched CSR expander, and how the
+    self-test proves a deliberately-broken layout
+    (:data:`repro.conformance.fixtures.BROKEN_CSR_LAYOUT`) is caught.
 ``determinism``
     Re-running the same request bit-reproduces the report.
 ``port-permutation`` (when the contract declares it)
@@ -31,7 +40,7 @@ it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.engine import SimRequest, derive_seed, simulate
@@ -42,6 +51,7 @@ from .contracts import Contract, sample_range
 
 __all__ = [
     "BACKENDS",
+    "LAYOUT_BACKENDS",
     "CaseSpec",
     "CheckFailure",
     "CaseResult",
@@ -53,6 +63,14 @@ __all__ = [
 
 #: Backends every case runs on (the engine seam's full set).
 BACKENDS = ("direct", "cached", "sharded")
+
+#: Backends the ``layout-identity`` check runs each declared layout on:
+#: the direct backend gathers views over the layout's arrays, the
+#: cached backend keys its memo table off the layout's class partition
+#: — together they cover both ways a layout can diverge.  (The sharded
+#: backend shares the cached backend's partition path and is already
+#: exercised with ``layout="auto"`` by ``backend-identity``.)
+LAYOUT_BACKENDS = ("direct", "cached")
 
 
 @dataclass
@@ -316,6 +334,17 @@ def run_case(
                 )
                 if message:
                     failures.append(CheckFailure("backend-identity", message))
+        if enabled("layout-identity") and contract.layouts:
+            for layout in contract.layouts:
+                routed = replace(request, layout=layout)
+                for backend in LAYOUT_BACKENDS:
+                    report = simulate(routed, engine=backend)
+                    if report.identity() != base.identity():
+                        failures.append(CheckFailure(
+                            "layout-identity",
+                            f"layout {layout!r} on {backend} diverges "
+                            f"from the base report",
+                        ))
         if enabled("determinism"):
             again = simulate(request, engine=backends[0])
             if again.identity() != base.identity():

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 
 from ..graphs.graph import Edge, edge_key
 from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.batch_views import expander_for, resolve_layout
 from ..local_model.cache import KeyedCache, ViewCache
 from ..local_model.views import (
     edge_view_signature,
@@ -52,9 +53,22 @@ class CachedEngine(DirectEngine):
         a private one at construction.  The algorithm identity is not
         part of the cache key — use one engine (or one cache) per
         algorithm, exactly as with :class:`ViewCache` itself.
+
+    Notes
+    -----
+    On ``layout="auto"`` requests over frozen graphs, keys come from
+    the batched CSR expander (one vectorized pass instead of n
+    per-entity signature walks); the lookup pattern — one cache lookup
+    per entity, one miss per distinct class — is unchanged, so hit
+    rates and class counts match the reference ``"dict"`` layout
+    exactly.  The two layouts use disjoint (both perfect) key spaces,
+    so a cache shared across layouts stays correct but re-evaluates
+    each class once per key space — keep one layout per cache when the
+    cross-run reuse matters.
     """
 
     name = "cached"
+    prefer_csr = True
 
     def __init__(self, cache: Optional[ViewCache] = None):
         self.cache = cache if cache is not None else ViewCache()
@@ -65,6 +79,7 @@ class CachedEngine(DirectEngine):
         graph, algorithm, cache = request.graph, request.algorithm, self.cache
         tracer = effective_tracer(tracer)
         radius = algorithm.radius
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
         before = cache.stats.copy() if tracer is not None else None
@@ -73,12 +88,40 @@ class CachedEngine(DirectEngine):
         get, store, output = cache.get, cache.store, algorithm.output
         ids, inputs = request.ids, request.inputs
         randomness, orientation = request.randomness, request.orientation
-        for v in graph.nodes():
-            key = view_signature(
-                graph, v, radius,
-                ids=ids, inputs=inputs, randomness=randomness,
+        if layout == "dict":
+            if tracer is not None:
+                tracer.on_layout(
+                    self.name, layout,
+                    {"requested": request.layout, "entities": graph.n},
+                )
+            node_keys = (
+                (v, view_signature(
+                    graph, v, radius,
+                    ids=ids, inputs=inputs, randomness=randomness,
+                    orientation=orientation,
+                ))
+                for v in graph.nodes()
+            )
+        else:
+            part = expander_for(graph, layout).node_classes(
+                radius, ids=ids, inputs=inputs, randomness=randomness,
                 orientation=orientation,
             )
+            if tracer is not None:
+                tracer.on_layout(
+                    self.name, layout,
+                    {
+                        "requested": request.layout,
+                        "entities": graph.n,
+                        "path": part.path,
+                        "classes": part.class_count,
+                    },
+                )
+            class_keys = part.keys
+            node_keys = (
+                (v, class_keys[c]) for v, c in enumerate(part.labels)
+            )
+        for v, key in node_keys:
             out = get(key)
             if out is _MISS:
                 view = gather_view(
@@ -108,6 +151,7 @@ class CachedEngine(DirectEngine):
         graph, algorithm, cache = request.graph, request.algorithm, self.cache
         tracer = effective_tracer(tracer)
         radius = algorithm.view_radius()
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
         before = cache.stats.copy() if tracer is not None else None
@@ -115,12 +159,43 @@ class CachedEngine(DirectEngine):
         get, store, output_fn = cache.get, cache.store, algorithm.output_fn
         ids, inputs = request.ids, request.inputs
         randomness, orientation = request.randomness, request.orientation
-        for u, v in graph.edges():
-            key = edge_view_signature(
-                graph, (u, v), radius,
+        edges = list(graph.edges())
+        if layout == "dict":
+            if tracer is not None:
+                tracer.on_layout(
+                    self.name, layout,
+                    {"requested": request.layout, "entities": graph.m},
+                )
+            edge_keys = (
+                (edge, edge_view_signature(
+                    graph, edge, radius,
+                    ids=ids, inputs=inputs, randomness=randomness,
+                    orientation=orientation,
+                ))
+                for edge in edges
+            )
+        else:
+            part = expander_for(graph, layout).edge_classes(
+                edges, radius,
                 ids=ids, inputs=inputs, randomness=randomness,
                 orientation=orientation,
             )
+            if tracer is not None:
+                tracer.on_layout(
+                    self.name, layout,
+                    {
+                        "requested": request.layout,
+                        "entities": graph.m,
+                        "path": part.path,
+                        "classes": part.class_count,
+                    },
+                )
+            class_keys = part.keys
+            edge_keys = (
+                (edges[i], class_keys[c])
+                for i, c in enumerate(part.labels)
+            )
+        for (u, v), key in edge_keys:
             out = get(key)
             if out is _MISS:
                 view = gather_edge_view(

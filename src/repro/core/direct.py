@@ -17,6 +17,11 @@ from typing import Any, Dict, List, Optional
 
 from ..graphs.graph import Edge, edge_key
 from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.batch_views import (
+    gather_edge_view_csr,
+    gather_view_csr,
+    resolve_layout,
+)
 from ..local_model.context import NodeContext
 from ..local_model.views import gather_edge_view, gather_view
 from .engine import Engine, SimReport, SimRequest
@@ -25,9 +30,21 @@ __all__ = ["DirectEngine"]
 
 
 class DirectEngine(Engine):
-    """Current semantics: one evaluation per node / edge / entity."""
+    """Current semantics: one evaluation per node / edge / entity.
+
+    ``view`` / ``edge`` requests honor the request's ``layout`` knob:
+    ``"auto"`` resolves to the reference ``"dict"`` path here (the
+    direct backend *is* the reference), while an explicit ``"csr"`` (or
+    any registered expander layout) gathers each ball over the compiled
+    CSR arrays — bit-identical views, proven by the parity suite.
+    """
 
     name = "direct"
+
+    #: Whether ``layout="auto"`` resolves to the batched CSR layout on
+    #: frozen graphs.  The direct backend keeps the reference path; the
+    #: memoizing backends override this (class detection is their cost).
+    prefer_csr = False
 
     def run(self, request: SimRequest, tracer: Optional[Tracer] = None) -> SimReport:
         tracer = effective_tracer(tracer)
@@ -145,11 +162,17 @@ class DirectEngine(Engine):
         self, request: SimRequest, tracer: Optional[Tracer]
     ) -> SimReport:
         graph, algorithm = request.graph, request.algorithm
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        gather = gather_view if layout == "dict" else gather_view_csr
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
+            tracer.on_layout(
+                self.name, layout,
+                {"requested": request.layout, "entities": graph.n},
+            )
         outputs = []
         for v in graph.nodes():
-            view = gather_view(
+            view = gather(
                 graph,
                 v,
                 algorithm.radius,
@@ -177,12 +200,18 @@ class DirectEngine(Engine):
         self, request: SimRequest, tracer: Optional[Tracer]
     ) -> SimReport:
         graph, algorithm = request.graph, request.algorithm
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        gather_edge = gather_edge_view if layout == "dict" else gather_edge_view_csr
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
+            tracer.on_layout(
+                self.name, layout,
+                {"requested": request.layout, "entities": graph.m},
+            )
         outputs: Dict[Edge, Any] = {}
         radius = algorithm.view_radius()
         for u, v in graph.edges():
-            view = gather_edge_view(
+            view = gather_edge(
                 graph,
                 (u, v),
                 radius,

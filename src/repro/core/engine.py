@@ -93,6 +93,18 @@ class SimRequest:
     ``random.Random(derive_seed(seed, label))``, so results cannot
     depend on which backend ran.  ``label`` also names the request in
     shard-seed derivation and progress events.
+
+    ``layout`` selects the graph layout for ``view`` / ``edge`` kinds:
+    ``"dict"`` is the reference per-entity path over the adjacency
+    lists, ``"csr"`` routes class detection through the batched ball
+    expander over the compiled :class:`~repro.graphs.csr.CSRGraph`
+    arrays (:mod:`repro.local_model.batch_views`), and ``"auto"`` (the
+    default) lets each backend pick — the memoizing backends use
+    ``"csr"`` whenever the graph is frozen, the direct backend stays on
+    the reference path.  Layout choice is a pure performance knob: all
+    layouts produce bit-identical reports (``tests/test_csr_parity.py``
+    and the conformance ``layout-identity`` check prove it).  Other
+    kinds ignore the field.
     """
 
     kind: str
@@ -110,6 +122,8 @@ class SimRequest:
     # -- "finite" kind --------------------------------------------------
     values: Optional[Sequence[int]] = None
     tables: Optional[List[List[int]]] = None
+    # -- "view" / "edge" kinds ------------------------------------------
+    layout: str = "auto"
     # -- bookkeeping ----------------------------------------------------
     label: str = ""
 

@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Edge, edge_key
 from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model.batch_views import expander_for, resolve_layout
 from ..local_model.cache import CacheStats
 from ..local_model.views import (
     edge_view_signature,
@@ -165,6 +166,7 @@ class ShardedEngine(DirectEngine):
     """
 
     name = "sharded"
+    prefer_csr = True  # class detection is this backend's parent-side cost
 
     def __init__(
         self,
@@ -307,25 +309,44 @@ class ShardedEngine(DirectEngine):
         graph, algorithm = request.graph, request.algorithm
         tracer = effective_tracer(tracer)
         radius = algorithm.radius
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
-        keys: List[Any] = []
-        classes: Dict[Any, int] = {}
-        reps: List[int] = []
-        for v in graph.nodes():
-            key = view_signature(
-                graph, v, radius,
-                ids=request.ids, inputs=request.inputs,
-                randomness=request.randomness, orientation=request.orientation,
+        if layout == "dict":
+            labels: List[int] = []
+            classes: Dict[Any, int] = {}
+            reps: List[int] = []
+            for v in graph.nodes():
+                key = view_signature(
+                    graph, v, radius,
+                    ids=request.ids, inputs=request.inputs,
+                    randomness=request.randomness,
+                    orientation=request.orientation,
+                )
+                c = classes.get(key)
+                if c is None:
+                    c = classes[key] = len(reps)
+                    reps.append(v)
+                labels.append(c)
+            layout_info = {"requested": request.layout, "entities": graph.n,
+                           "classes": len(reps)}
+        else:
+            part = expander_for(graph, layout).node_classes(
+                radius, ids=request.ids, inputs=request.inputs,
+                randomness=request.randomness,
+                orientation=request.orientation,
             )
-            keys.append(key)
-            if key not in classes:
-                classes[key] = len(reps)
-                reps.append(v)
+            # First-occurrence representatives match the dict scan's, so
+            # shard payloads — and therefore outputs — are bit-identical.
+            labels, reps = part.labels, part.reps
+            layout_info = {"requested": request.layout, "entities": graph.n,
+                           "path": part.path, "classes": part.class_count}
+        if tracer is not None:
+            tracer.on_layout(self.name, layout, layout_info)
         class_outputs, pooled, degraded = self._evaluate_shards(
             request, reps, _eval_view_chunk, tracer
         )
-        outputs = [class_outputs[classes[key]] for key in keys]
+        outputs = [class_outputs[c] for c in labels]
         if tracer is not None:
             tracer.on_cache("view", self._dedup_stats(graph.n, len(reps)))
             tracer.on_run_end(radius)
@@ -348,28 +369,47 @@ class ShardedEngine(DirectEngine):
         graph, algorithm = request.graph, request.algorithm
         tracer = effective_tracer(tracer)
         radius = algorithm.view_radius()
+        layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
         edges = list(graph.edges())
-        keys = []
-        classes: Dict[Any, int] = {}
-        reps: List[Tuple[int, int]] = []
-        for u, v in edges:
-            key = edge_view_signature(
-                graph, (u, v), radius,
+        if layout == "dict":
+            labels: List[int] = []
+            classes: Dict[Any, int] = {}
+            reps: List[Tuple[int, int]] = []
+            for u, v in edges:
+                key = edge_view_signature(
+                    graph, (u, v), radius,
+                    ids=request.ids, inputs=request.inputs,
+                    randomness=request.randomness,
+                    orientation=request.orientation,
+                )
+                c = classes.get(key)
+                if c is None:
+                    c = classes[key] = len(reps)
+                    reps.append((u, v))
+                labels.append(c)
+            layout_info = {"requested": request.layout, "entities": graph.m,
+                           "classes": len(reps)}
+        else:
+            part = expander_for(graph, layout).edge_classes(
+                edges, radius,
                 ids=request.ids, inputs=request.inputs,
-                randomness=request.randomness, orientation=request.orientation,
+                randomness=request.randomness,
+                orientation=request.orientation,
             )
-            keys.append(key)
-            if key not in classes:
-                classes[key] = len(reps)
-                reps.append((u, v))
+            labels = part.labels
+            reps = [edges[i] for i in part.reps]
+            layout_info = {"requested": request.layout, "entities": graph.m,
+                           "path": part.path, "classes": part.class_count}
+        if tracer is not None:
+            tracer.on_layout(self.name, layout, layout_info)
         class_outputs, pooled, degraded = self._evaluate_shards(
             request, reps, _eval_edge_chunk, tracer
         )
         outputs: Dict[Edge, Any] = {
-            edge_key(u, v): class_outputs[classes[key]]
-            for (u, v), key in zip(edges, keys)
+            edge_key(u, v): class_outputs[c]
+            for (u, v), c in zip(edges, labels)
         }
         if tracer is not None:
             tracer.on_cache("edge", self._dedup_stats(len(edges), len(reps)))

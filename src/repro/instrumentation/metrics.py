@@ -81,6 +81,11 @@ class RunMetrics:
     cache_misses: int = 0
     cache_bytes: int = 0
     cache_distinct_classes: int = 0
+    layout_dict_runs: int = 0
+    layout_csr_runs: int = 0
+    layout_fallbacks: int = 0
+    layout_entities: int = 0
+    layout_classes: int = 0
     shards: int = 0
     degradations: int = 0
     degraded_reasons: List[str] = field(default_factory=list)
@@ -114,6 +119,11 @@ class RunMetrics:
             "cache_bytes": self.cache_bytes,
             "cache_distinct_classes": self.cache_distinct_classes,
             "cache_hit_rate": self.cache_hit_rate,
+            "layout_dict_runs": self.layout_dict_runs,
+            "layout_csr_runs": self.layout_csr_runs,
+            "layout_fallbacks": self.layout_fallbacks,
+            "layout_entities": self.layout_entities,
+            "layout_classes": self.layout_classes,
             "shards": self.shards,
             "degradations": self.degradations,
             "degraded_reasons": list(self.degraded_reasons),
@@ -226,6 +236,16 @@ class MetricsTracer(Tracer):
         self.metrics.views_gathered += 1
         self.metrics.view_nodes += nodes
         self.metrics.view_edges += edges
+
+    def on_layout(self, engine: str, layout: str, info: Dict[str, Any]) -> None:
+        if layout == "dict":
+            self.metrics.layout_dict_runs += 1
+        else:
+            self.metrics.layout_csr_runs += 1
+        if info.get("path") == "python":
+            self.metrics.layout_fallbacks += 1
+        self.metrics.layout_entities += info.get("entities", 0)
+        self.metrics.layout_classes += info.get("classes", 0)
 
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         self.metrics.cache_lookups += stats.get("lookups", 0)

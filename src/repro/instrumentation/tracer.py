@@ -31,6 +31,8 @@ on_message          message-passing engine, once per sent message
 on_halt             message-passing engine, when a node commits + stops
 on_round_end        message-passing engine, after deliveries + receives
 on_view             view engines, once per materialized ball
+on_layout           view engines, once per run, with the resolved
+                    graph layout (dict vs batched CSR) and class counts
 on_cache            cached engines, once per run, with lookup stats
 on_shard            sharded engine, once per dispatched shard
 on_trial            finite runner, once per Monte Carlo trial
@@ -99,6 +101,18 @@ class Tracer:
         ``nodes``/``edges`` size the ball — the view-engine analogue of
         bandwidth (everything in the ball crossed the wire to reach the
         center in the operational model).
+        """
+
+    def on_layout(self, engine: str, layout: str, info: Dict[str, Any]) -> None:
+        """A view engine reports which graph layout served the run.
+
+        Fired once per ``view`` / ``edge`` run by every backend.
+        ``layout`` is the resolved layout name (``"dict"`` for the
+        reference per-entity path, ``"csr"`` for the batched expander,
+        or a registered fixture layout); ``info`` carries ``requested``
+        (the request's knob, e.g. ``"auto"``), ``entities``, and — on
+        expander-backed layouts — ``path`` (``"numpy"`` or the exact
+        ``"python"`` fallback) and ``classes`` (the partition size).
         """
 
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
@@ -184,6 +198,10 @@ class MultiTracer(Tracer):
     def on_view(self, center: Any, radius: int, nodes: int, edges: int) -> None:
         for t in self.tracers:
             t.on_view(center, radius, nodes, edges)
+
+    def on_layout(self, engine: str, layout: str, info: Dict[str, Any]) -> None:
+        for t in self.tracers:
+            t.on_layout(engine, layout, info)
 
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         for t in self.tracers:

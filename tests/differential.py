@@ -19,7 +19,12 @@ both claims into an executable oracle:
 * :func:`run_case_backends` / :func:`run_edge_case_backends` run the
   same case once per :mod:`repro.core` backend (direct, cached,
   sharded) and return the :class:`~repro.core.SimReport`s, whose
-  ``identity()`` projections must coincide.
+  ``identity()`` projections must coincide;
+* :func:`run_case_layouts` / :func:`run_edge_case_layouts` extend that
+  comparison with the graph-layout axis: every (backend × layout)
+  combination — the reference ``"dict"`` path and the batched
+  ``"csr"`` expander — must reproduce the direct/dict report bit for
+  bit (:func:`assert_layout_reports_identical`).
 
 ``tests/test_differential.py`` parametrizes over the full grid;
 ``tests/test_engine_backends.py`` adds the three-backend comparison;
@@ -35,7 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.algorithms.view_rules import make_view_rule
@@ -52,19 +57,24 @@ from repro.graphs import (
 )
 from repro.graphs.identifiers import random_permutation_ids
 from repro.local_model import EdgeViewAlgorithm, ViewCache
+from repro.local_model.batch_views import LAYOUTS
 from repro.local_model.edge_model import run_edge_view_algorithm
 from repro.local_model.network import run_view_algorithm
 
 __all__ = [
     "Case",
     "BACKENDS",
+    "LAYOUTS",
     "GRAPH_FAMILIES",
     "grid",
     "run_case",
     "run_case_backends",
+    "run_case_layouts",
     "run_edge_case_backends",
+    "run_edge_case_layouts",
     "assert_identical",
     "assert_reports_identical",
+    "assert_layout_reports_identical",
     "run_grid",
 ]
 
@@ -211,6 +221,35 @@ def assert_reports_identical(reports: Dict[str, Any], label: str) -> None:
         )
 
 
+def run_case_layouts(case: Case) -> Dict[Tuple[str, str], Any]:
+    """One case over the full (backend × layout) grid.
+
+    Returns ``(backend, layout) -> SimReport``.  Every grid graph is
+    frozen by its generator, so the ``"csr"`` layout is legal on all of
+    them.
+    """
+    request = build_request(case)
+    return {
+        (backend, layout): simulate(
+            replace(request, layout=layout), engine=backend
+        )
+        for backend in BACKENDS
+        for layout in LAYOUTS
+    }
+
+
+def assert_layout_reports_identical(
+    reports: Dict[Tuple[str, str], Any], label: str
+) -> None:
+    """Every (backend, layout) report matches direct/dict bit for bit."""
+    reference = reports[("direct", "dict")].identity()
+    for (backend, layout), report in reports.items():
+        assert report.identity() == reference, (
+            f"{label}: backend {backend!r} with layout {layout!r} "
+            f"diverges from direct/dict"
+        )
+
+
 # ----------------------------------------------------------------------
 # Edge-model differential cases (B_t(e) = B_{t-1}(u) ∪ B_{t-1}(v))
 # ----------------------------------------------------------------------
@@ -264,6 +303,27 @@ def run_edge_case_backends(graph_name: str, rounds: int) -> Dict[str, Any]:
         label=f"edge-t{rounds}-{graph_name}",
     )
     return {backend: simulate(request, engine=backend) for backend in BACKENDS}
+
+
+def run_edge_case_layouts(
+    graph_name: str, rounds: int
+) -> Dict[Tuple[str, str], Any]:
+    """One edge case over the full (backend × layout) grid."""
+    graph, alg, randomness = _edge_case_inputs(graph_name, rounds)
+    request = SimRequest(
+        kind="edge",
+        graph=graph,
+        algorithm=alg,
+        randomness=randomness,
+        label=f"edge-t{rounds}-{graph_name}",
+    )
+    return {
+        (backend, layout): simulate(
+            replace(request, layout=layout), engine=backend
+        )
+        for backend in BACKENDS
+        for layout in LAYOUTS
+    }
 
 
 # ----------------------------------------------------------------------

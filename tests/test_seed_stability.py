@@ -27,6 +27,13 @@ GOLDEN = {
     (123456789, "conformance:luby-mis"): 13010097619980731149,
     (-7, "negative-base"): 11198832648702197070,
     (2**63, "big-base"): 15165842683223383362,
+    # Sharded-engine shard seeds (f"{label}:{kind}:shard-{i}") for the
+    # batched-view fan-out: the CSR layout changes *how* classes are
+    # detected, never which seed a shard evaluates under.
+    (0, "csr-parity:view:shard-0"): 8877914581975635878,
+    (0, "csr-parity:view:shard-1"): 18312293899060393529,
+    (0, "csr-parity:edge:shard-0"): 6504253960809091843,
+    (7, "bench-csr:view:shard-2"): 5431547783688781935,
 }
 
 
@@ -51,3 +58,29 @@ def test_cell_seed_delegates_to_derive_seed():
 def test_distinct_labels_distinct_seeds():
     seeds = {derive_seed(0, f"case-{i}") for i in range(256)}
     assert len(seeds) == 256
+
+
+def test_shard_seeds_are_layout_independent():
+    # The sharded engine derives shard seeds from (seed, label, kind,
+    # shard index) only — switching the class-detection layout between
+    # "dict" and "csr" must not move any shard onto a different seed,
+    # or every recorded sharded artifact would silently re-randomize.
+    from repro.algorithms.view_rules import make_view_rule
+    from repro.core.engine import SimRequest
+    from repro.core.sharded import ShardedEngine
+
+    from repro.graphs import cycle
+
+    engine = ShardedEngine(shards=2)
+    rule = make_view_rule("ball-signature", radius=1)
+    seeds = {}
+    for layout in ("dict", "csr"):
+        request = SimRequest(
+            kind="view", graph=cycle(8), algorithm=rule,
+            seed=0, layout=layout, label="csr-parity",
+        )
+        seeds[layout] = engine._shard_seeds(request, 2)
+    assert seeds["dict"] == seeds["csr"] == [
+        GOLDEN[(0, "csr-parity:view:shard-0")],
+        GOLDEN[(0, "csr-parity:view:shard-1")],
+    ]
