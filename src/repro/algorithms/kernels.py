@@ -1,0 +1,315 @@
+"""Built-in vectorized kernels for the registered algorithms.
+
+Each kernel here compiles one algorithm from
+:mod:`repro.algorithms.view_rules` / :mod:`repro.algorithms.message_passing`
+into the NumPy execution plans of :mod:`repro.local_model.kernels`:
+
+* view rules become *class-table* kernels — one segmented reduction
+  over the packed rows of every view-equivalence class at once;
+* message-passing algorithms become *round* kernels — one SpMV-shaped
+  gather/scatter over the CSR arrays per synchronous round.
+
+Every kernel is bound by the authoring contract in ``docs/KERNELS.md``:
+bit-identical outputs to the reference per-entity path or an explicit
+:class:`~repro.local_model.kernels.KernelUnsupported` decline *before*
+any observable effect.  The parity suites re-prove the identity on
+random graphs every CI run; nothing here is trusted by construction.
+
+This module is imported lazily by the kernel registries on first
+lookup (and eagerly by :func:`repro.core.registry.ensure_builtins`);
+importing it has no effect beyond filling the registries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import numpy as np
+
+from ..local_model.kernels import (
+    KernelState,
+    LocalKernel,
+    PackedRows,
+    register_local_kernel,
+    register_view_kernel,
+)
+from .message_passing import (
+    ColeVishkinMP,
+    FloodLeaderParity,
+    RandomizedWeakColoring,
+)
+from .view_rules import LocalMaximumRule, RandomPriorityRule
+
+__all__ = [
+    "ColeVishkinKernel",
+    "FloodKernel",
+    "WeakColoringKernel",
+]
+
+_INTLIKE = (bool, int, np.integer)
+
+
+# ----------------------------------------------------------------------
+# View kernels: one segmented reduction per class table
+# ----------------------------------------------------------------------
+
+@register_view_kernel(LocalMaximumRule)
+def _local_max_kernel(algorithm: LocalMaximumRule, rows: PackedRows):
+    # output(view) == 1 iff every identifier in the ball is <= the
+    # center's, i.e. iff the center attains the segment maximum (the
+    # center's own id participates, so ties at the top still win).
+    return (
+        (rows.segment_max("ids") == rows.center("ids"))
+        .astype(np.int64)
+        .tolist()
+    )
+
+
+@register_view_kernel(RandomPriorityRule)
+def _random_priority_kernel(algorithm: RandomPriorityRule, rows: PackedRows):
+    # output(view) == 1 iff the center *strictly* beats everyone else:
+    # it attains the segment maximum and the maximum is unique (ties
+    # lose, exactly as the reference rule).
+    mx, cnt = rows.segment_max_count("randomness")
+    return (
+        ((mx == rows.center("randomness")) & (cnt == 1))
+        .astype(np.int64)
+        .tolist()
+    )
+
+
+# ----------------------------------------------------------------------
+# Round kernels: gather/scatter over CSR per synchronous round
+# ----------------------------------------------------------------------
+
+class ColeVishkinKernel(LocalKernel):
+    """Vectorized :class:`~repro.algorithms.message_passing.ColeVishkinMP`.
+
+    CV steps become the bit trick on whole color arrays (``frexp`` of
+    the isolated lowest differing bit gives its exact index); the
+    recolor phases become one ``bitwise_or.reduceat`` over neighbor
+    colors.  The pseudoforest invariant (every node has a successor)
+    guarantees non-empty CSR segments, so no sentinel padding is
+    needed.
+    """
+
+    def supports(self, request) -> Optional[str]:
+        """Decline orientations, malformed labels, and palette overflows."""
+        if request.orientation is not None:
+            return "unsupported: orientation"
+        inputs = request.inputs
+        if inputs is None:
+            return "unsupported: missing inputs"
+        if self.algorithm.color_bits > 62:
+            return "unsupported: color_bits beyond int64 range"
+        limit = 1 << self.algorithm.color_bits
+        degrees = request.graph.csr().degrees
+        for v, label in enumerate(inputs):
+            if not isinstance(label, (tuple, list)) or len(label) != 2:
+                return "unsupported: malformed input labels"
+            succ_port, color = label
+            if not isinstance(succ_port, _INTLIKE) or not isinstance(
+                color, _INTLIKE
+            ):
+                return "unsupported: non-integer input labels"
+            if not 0 <= int(succ_port) < int(degrees[v]):
+                return "unsupported: successor port out of range"
+            if not 0 <= int(color) < limit:
+                return "unsupported: color outside the declared palette"
+        return None
+
+    def init(self, state: KernelState) -> None:
+        """Parse ``(successor port, color)`` inputs into arrays."""
+        csr = state.csr
+        pairs = np.asarray(
+            [(int(sp), int(c)) for sp, c in state.request.inputs],
+            dtype=np.int64,
+        ).reshape(state.n, 2)
+        self.colors = pairs[:, 1].copy()
+        self.succ = csr.indices[csr.indptr[:-1] + pairs[:, 0]]
+        self.cv_rounds = self.algorithm.cv_rounds
+        self.total_rounds = self.algorithm.total_rounds
+
+    #: avail (a 3-bit mask, never 0 here) -> its lowest set bit index,
+    #: i.e. min color in {0,1,2} not used by any neighbor.
+    _LOWEST_BIT = np.array([-1, 0, 1, 0, 2, 0, 1, 0], dtype=np.int64)
+
+    def step(self, state: KernelState) -> None:
+        """One CV halving round, or one of the six reduce-to-3 phases."""
+        rnd = state.round
+        colors = self.colors
+        succ_color = colors[self.succ]
+        if rnd <= self.cv_rounds:
+            diff = colors ^ succ_color
+            bad = np.flatnonzero(diff == 0)
+            if bad.size:
+                color = int(colors[bad[0]])
+                raise ValueError(
+                    f"CV step needs distinct colors, got {color} twice"
+                )
+            # The isolated lowest set bit is an exact power of two, so
+            # frexp's exponent recovers its index without rounding.
+            low = (diff & -diff).astype(np.float64)
+            i = (np.frexp(low)[1] - 1).astype(np.int64)
+            self.colors = 2 * i + ((colors >> i) & 1)
+        else:
+            phase = rnd - self.cv_rounds  # 1..6
+            if phase % 2 == 1:
+                self.colors = succ_color.copy()
+            else:
+                target = {2: 5, 4: 4, 6: 3}[phase]
+                csr = state.csr
+                c_nb = colors[csr.indices]
+                contrib = np.where(
+                    c_nb < 3,
+                    np.int64(1) << np.minimum(c_nb, np.int64(62)),
+                    np.int64(0),
+                )
+                used = np.bitwise_or.reduceat(contrib, csr.indptr[:-1])
+                avail = ~used & 7
+                sel = colors == target
+                if bool((sel & (avail == 0)).any()):
+                    raise ValueError("min() arg is an empty sequence")
+                recolored = colors.copy()
+                recolored[sel] = self._LOWEST_BIT[avail[sel]]
+                self.colors = recolored
+        if rnd == self.total_rounds:
+            state.halt(~state.halted, self.colors)
+
+
+register_local_kernel(ColeVishkinMP)(ColeVishkinKernel)
+
+
+class FloodKernel(LocalKernel):
+    """Vectorized :class:`~repro.algorithms.message_passing.FloodLeaderParity`.
+
+    The lexicographic ``(identifier, distance)`` minimum is encoded as
+    one integer ``identifier * M + distance`` with ``M = 2n + 2``
+    (distances never exceed ``n``), so each round is a single
+    ``minimum.reduceat`` over neighbor keys plus one.  Identifier
+    magnitudes that could overflow the encoding decline to the exact
+    fallback.
+    """
+
+    _SENTINEL = np.int64(2**62)
+
+    def supports(self, request) -> Optional[str]:
+        """Decline orientations and ids that overflow the int64 encoding."""
+        if request.orientation is not None:
+            return "unsupported: orientation"
+        ids = request.ids
+        if ids is None:
+            return "unsupported: missing identifiers"
+        bound = (2**62) // (2 * request.graph.n + 2)
+        for x in ids:
+            if not isinstance(x, _INTLIKE):
+                return "unsupported: non-integer identifiers"
+            if abs(int(x)) >= bound:
+                return "unsupported: identifier magnitude overflows encoding"
+        return None
+
+    def init(self, state: KernelState) -> None:
+        """Encode each node's ``(id, 0)`` as its starting flood key."""
+        ids = np.asarray(
+            [int(x) for x in state.request.ids], dtype=np.int64
+        )
+        self.modulus = np.int64(2 * state.n + 2)
+        self.key = ids * self.modulus
+
+    def step(self, state: KernelState) -> None:
+        """Fold each node's key with its neighbors' best, plus one hop."""
+        csr = state.csr
+        key = self.key
+        # Every live neighbor broadcasts its best; receiving adds one
+        # hop.  A sentinel entry keeps reduceat in bounds for trailing
+        # isolated nodes, whose (bogus) segment values are masked out.
+        contrib = np.append(key[csr.indices] + 1, self._SENTINEL)
+        best_nb = np.minimum.reduceat(contrib, csr.indptr[:-1])
+        self.key = np.where(
+            csr.degrees > 0, np.minimum(key, best_nb), key
+        )
+        if state.round >= state.n:
+            # Floor-mod recovers the distance for negative identifiers
+            # too; its parity is the output.
+            state.halt(~state.halted, (self.key % self.modulus) % 2)
+
+
+register_local_kernel(FloodLeaderParity)(FloodKernel)
+
+
+class WeakColoringKernel(LocalKernel):
+    """Vectorized
+    :class:`~repro.algorithms.message_passing.RandomizedWeakColoring`.
+
+    Frozen-neighbor color counts and active-witness detection are arc
+    scatters (``bincount`` / boolean indexing); the only per-node
+    Python left is the redraw, which touches each still-symmetric node
+    once per round — a geometrically shrinking set.  Each node's redraw
+    stream comes from ``random.Random(words[v])``, the exact private
+    RNG the reference engine would construct, so the runs are
+    bit-identical draw for draw.
+    """
+
+    def supports(self, request) -> Optional[str]:
+        """Decline orientations and randomness-forbidding runs."""
+        if request.orientation is not None:
+            return "unsupported: orientation"
+        if request.deterministic:
+            return "unsupported: deterministic run (randomness forbidden)"
+        return None
+
+    def init(self, state: KernelState) -> None:
+        """Replay each node's private-RNG first draw; halt isolated nodes."""
+        n = state.n
+        isolated = state.csr.degrees == 0
+        if isolated.any():
+            # Vacuously weakly colored, exactly like the reference init.
+            state.halt(isolated, np.zeros(int(isolated.sum()), np.int64))
+        self.rngs = {}
+        colors = np.zeros(n, dtype=np.int64)
+        for v in np.flatnonzero(~isolated).tolist():
+            rng = random.Random(state.words[v])
+            self.rngs[v] = rng
+            colors[v] = rng.randrange(2)
+        self.colors = colors
+        self.final = np.zeros(n, dtype=bool)
+        # Accumulated frozen-witness colors: how many *final* neighbors
+        # of each node announced color 0 / 1 (the vectorized form of
+        # the reference's persistent ``final_neighbors`` map).
+        self.final_count = np.zeros((2, n), dtype=np.int64)
+
+    def step(self, state: KernelState) -> None:
+        """One exchange round: freeze witnesses, linger-halt, redraw."""
+        csr = state.csr
+        colors, final = self.colors, self.final
+        halted = state.halted.copy()  # round-start snapshot
+        recv, sender = state.arc_src, csr.indices
+        # An arc carries a message iff its sender still runs (halted
+        # nodes are silent) and its receiver still runs (deliveries to
+        # halted nodes are dropped); only undecided receivers look.
+        undecided = ~halted & ~final
+        live = undecided[recv] & ~halted[sender]
+        frozen_arcs = np.flatnonzero(live & final[sender])
+        if frozen_arcs.size:
+            announced = colors[sender[frozen_arcs]]
+            for c in (0, 1):
+                self.final_count[c] += np.bincount(
+                    recv[frozen_arcs[announced == c]], minlength=state.n
+                )
+        opposite = np.where(colors == 0, self.final_count[1],
+                            self.final_count[0])
+        witnessed = np.zeros(state.n, dtype=bool)
+        active_arcs = live & ~final[sender] & (colors[sender] != colors[recv])
+        witnessed[recv[active_arcs]] = True
+        newly_final = undecided & ((opposite > 0) | witnessed)
+        # Nodes already final at round start sent their flagged color
+        # this round; now they halt with it (the reference's linger).
+        lingering = ~halted & final
+        state.halt(lingering, colors[lingering])
+        final[newly_final] = True
+        for v in np.flatnonzero(undecided & ~newly_final).tolist():
+            colors[v] = self.rngs[v].randrange(2)
+
+
+register_local_kernel(RandomizedWeakColoring)(WeakColoringKernel)

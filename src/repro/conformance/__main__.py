@@ -30,8 +30,10 @@ from .artifact import replay_artifact, write_repro_artifact
 from .contracts import collect_contracts, contract_for
 from .fixtures import (
     BROKEN_CSR,
+    BROKEN_KERNEL,
     BROKEN_MIS,
     register_broken_fixture,
+    register_broken_kernel_fixture,
     register_broken_layout_fixture,
 )
 from .fuzzer import run_case, sample_cases
@@ -171,8 +173,24 @@ def _run_layout_self_test(args: argparse.Namespace) -> int:
                 "self-test ok: broken CSR layout caught by layout-identity "
                 f"on {case.graph_family} n={case.graph_params.get('n')}"
             )
-            return 0
+            return _run_kernel_self_test(args)
     print("self-test FAIL: broken CSR layout was never caught")
+    return 1
+
+
+def _run_kernel_self_test(args: argparse.Namespace) -> int:
+    """Prove the layout axis catches a wrong registered view kernel."""
+    register_broken_kernel_fixture()
+    contract = contract_for(BROKEN_KERNEL)
+    for _, case in sample_cases([contract], 20, args.seed):
+        result = run_case(contract, case)
+        if "layout-identity" in result.failed_checks():
+            print(
+                "self-test ok: broken view kernel caught by layout-identity "
+                f"on {case.graph_family} n={case.graph_params.get('n')}"
+            )
+            return 0
+    print("self-test FAIL: broken view kernel was never caught")
     return 1
 
 

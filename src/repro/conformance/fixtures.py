@@ -20,9 +20,20 @@ collide, the cached backend broadcasts one class's output to another,
 and the fuzzer's ``layout-identity`` check must flag the divergence.
 This is the acceptance test for the batched-CSR fuzzing axis: a layout
 that silently merges view classes cannot survive the pipeline.
+
+:data:`BROKEN_KERNEL` is the vectorized-kernel analogue (see
+``docs/KERNELS.md``): a subclass of the honest rule whose *registered
+view kernel* inverts every class output, declared with
+``layouts=("dict", "kernel")`` — so the ``layout-identity`` check must
+flag the divergence between the reference path and the kernel layout.
+Kernel registration resolves along the MRO (the subclass's planted
+kernel shadows the parent's honest one), which is exactly the override
+point a real kernel author would use.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..core.registry import ALGORITHMS
 from ..local_model.batch_views import (
@@ -35,8 +46,10 @@ __all__ = [
     "BROKEN_MIS",
     "BROKEN_CSR",
     "BROKEN_CSR_LAYOUT",
+    "BROKEN_KERNEL",
     "register_broken_fixture",
     "register_broken_layout_fixture",
+    "register_broken_kernel_fixture",
 ]
 
 #: Registry name of the broken fixture algorithm.
@@ -47,6 +60,9 @@ BROKEN_CSR = "broken-csr-views"
 
 #: Layout-registry name of the class-merging expander.
 BROKEN_CSR_LAYOUT = "broken-csr"
+
+#: Registry name of the broken-view-kernel fixture algorithm.
+BROKEN_KERNEL = "broken-kernel-views"
 
 
 def _make_broken_mis(radius: int = 1):
@@ -121,4 +137,63 @@ def register_broken_layout_fixture() -> None:
         layouts=("dict", "csr", BROKEN_CSR_LAYOUT),
         fixture=True,
         description="FIXTURE: layout whose class keys merge distinct balls",
+    )
+
+
+_INVERTED_RULE_CLASS = None
+
+
+def _inverted_kernel_rule_class():
+    """The planted-kernel rule class, built (and registered) once.
+
+    Lazy like :func:`_make_broken_mis` so importing this module never
+    pulls the algorithms package in; the class body is where the MRO
+    shadowing happens — the subclass's registered kernel wins the
+    lookup over :class:`LocalMaximumRule`'s honest one.
+    """
+    global _INVERTED_RULE_CLASS
+    if _INVERTED_RULE_CLASS is None:
+        from ..algorithms.view_rules import LocalMaximumRule
+        from ..local_model.kernels import register_view_kernel
+
+        class _InvertedKernelRule(LocalMaximumRule):
+            """Honest ``output``; deliberately wrong registered kernel."""
+
+        @register_view_kernel(_InvertedKernelRule)
+        def _inverted_kernel(algorithm, rows):
+            honest = rows.segment_max("ids") == rows.center("ids")
+            return (~honest).astype(np.int64).tolist()
+
+        _INVERTED_RULE_CLASS = _InvertedKernelRule
+    return _INVERTED_RULE_CLASS
+
+
+def _make_broken_kernel(radius: int = 1):
+    return _inverted_kernel_rule_class()(radius=radius)
+
+
+def register_broken_kernel_fixture() -> None:
+    """Register :data:`BROKEN_KERNEL` (idempotent; flagged ``fixture``).
+
+    The reference ``output`` is the honest local-max rule, so the
+    ``"dict"`` layout computes correct results; the ``"kernel"`` layout
+    runs the planted inverted kernel instead, and the fuzzer's
+    ``layout-identity`` check must flag the divergence — proving a
+    wrong registered kernel cannot survive the pipeline.
+    """
+    if BROKEN_KERNEL in ALGORITHMS:
+        return
+    _inverted_kernel_rule_class()
+    ALGORITHMS.add(
+        BROKEN_KERNEL,
+        _make_broken_kernel,
+        kind="view",
+        needs="ids",
+        domains=(
+            {"graph": "path", "n": (6, 16)},
+            {"graph": "cycle", "n": (6, 16)},
+        ),
+        layouts=("dict", "kernel"),
+        fixture=True,
+        description="FIXTURE: registered view kernel inverts the rule",
     )

@@ -80,6 +80,9 @@ class CachedEngine(DirectEngine):
         tracer = effective_tracer(tracer)
         radius = algorithm.radius
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            # The class table is its own memo — nothing to cache.
+            return self._run_view_kernel(request, tracer)
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
         before = cache.stats.copy() if tracer is not None else None
@@ -152,6 +155,8 @@ class CachedEngine(DirectEngine):
         tracer = effective_tracer(tracer)
         radius = algorithm.view_radius()
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            return self._run_edge_kernel(request, tracer)
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
         before = cache.stats.copy() if tracer is not None else None

@@ -17,7 +17,9 @@ from typing import Any, Dict, List, Optional
 
 from ..graphs.graph import Edge, edge_key
 from ..instrumentation.tracer import Tracer, effective_tracer
+from ..local_model import kernels as _kernels
 from ..local_model.batch_views import (
+    expander_for,
     gather_edge_view_csr,
     gather_view_csr,
     resolve_layout,
@@ -47,6 +49,7 @@ class DirectEngine(Engine):
     prefer_csr = False
 
     def run(self, request: SimRequest, tracer: Optional[Tracer] = None) -> SimReport:
+        """Execute ``request`` and return its :class:`SimReport`."""
         tracer = effective_tracer(tracer)
         if request.kind == "local":
             return self._run_local(request, tracer)
@@ -57,9 +60,60 @@ class DirectEngine(Engine):
         return self._run_finite(request, tracer)
 
     # -- "local": the synchronous message-passing round -----------------
+    def _wants_local_kernel(self, request: SimRequest) -> bool:
+        """Whether this ``local`` request should try the round kernel.
+
+        Explicit ``layout="kernel"`` always tries (and falls back
+        exactly when unsupported); ``"auto"`` escalates only on the
+        ``prefer_csr`` backends, only on frozen non-empty graphs, and
+        only when the algorithm registers a kernel — so the direct
+        backend stays the reference loop by default.
+        """
+        if request.layout == "kernel":
+            return True
+        return (
+            request.layout == "auto"
+            and self.prefer_csr
+            and getattr(request.graph, "is_frozen", False)
+            and request.graph.n > 0
+            and _kernels.local_kernel_for(request.algorithm) is not None
+        )
+
+    def _run_local_kernel(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        """The vectorized round-kernel path (raises KernelUnsupported
+        back to :meth:`_run_local` when the kernel declines)."""
+        algorithm, n = request.algorithm, request.graph.n
+        outputs, halt_rounds, rounds = _kernels.run_local_kernel(
+            algorithm, request
+        )
+        if tracer is not None:
+            tracer.on_run_start("local", algorithm.name, n)
+            tracer.on_kernel(
+                "local", algorithm.name,
+                {"path": "vectorized", "reason": None,
+                 "entities": n, "rounds": rounds},
+            )
+            tracer.on_run_end(rounds)
+        return SimReport(
+            kind="local",
+            outputs=outputs,
+            halt_rounds=halt_rounds,
+            rounds=rounds,
+            backend=self.name,
+            info={"kernel": "vectorized"},
+        )
+
     def _run_local(
         self, request: SimRequest, tracer: Optional[Tracer]
     ) -> SimReport:
+        kernel_reason: Optional[str] = None
+        if self._wants_local_kernel(request):
+            try:
+                return self._run_local_kernel(request, tracer)
+            except _kernels.KernelUnsupported as exc:
+                kernel_reason = str(exc)
         graph, algorithm = request.graph, request.algorithm
         ids, inputs = request.ids, request.inputs
         n = graph.n
@@ -97,6 +151,12 @@ class DirectEngine(Engine):
 
         if tracer is not None:
             tracer.on_run_start("local", algorithm.name, n)
+            if kernel_reason is not None:
+                tracer.on_kernel(
+                    "local", algorithm.name,
+                    {"path": "fallback", "reason": kernel_reason,
+                     "entities": n},
+                )
 
         halt_rounds: List[Optional[int]] = [None] * n
         for v in graph.nodes():
@@ -149,12 +209,137 @@ class DirectEngine(Engine):
         total = max((r for r in halt_rounds if r is not None), default=0)
         if tracer is not None:
             tracer.on_run_end(total)
+        info: Dict[str, Any] = {}
+        if kernel_reason is not None:
+            info = {"kernel": "fallback", "kernel_reason": kernel_reason}
         return SimReport(
             kind="local",
             outputs=[contexts[v].output for v in graph.nodes()],
             halt_rounds=halt_rounds,
             rounds=total,
             backend=self.name,
+            info=info,
+        )
+
+    # -- "view"/"edge" on layout="kernel": class table + broadcast ------
+    def _run_view_kernel(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        """One partition, one vectorized class table, one broadcast.
+
+        Shared by all backends (the kernel layout has nothing to cache
+        or shard: the class table *is* the memo).  When the algorithm
+        has no registered kernel — or its kernel declines — each class
+        representative is evaluated the reference way instead, so the
+        layout is available for every view algorithm.
+        """
+        graph, algorithm = request.graph, request.algorithm
+        radius = algorithm.radius
+        part = expander_for(graph, "kernel").node_classes(
+            radius,
+            ids=request.ids,
+            inputs=request.inputs,
+            randomness=request.randomness,
+            orientation=request.orientation,
+        )
+        if tracer is not None:
+            tracer.on_run_start("view", algorithm.name, graph.n)
+            tracer.on_layout(
+                self.name, "kernel",
+                {"requested": request.layout, "entities": graph.n,
+                 "path": part.path, "classes": part.class_count},
+            )
+        try:
+            table = _kernels.run_view_kernel(algorithm, part)
+            kinfo = {"path": "vectorized", "reason": None}
+        except _kernels.KernelUnsupported as exc:
+            table = []
+            for rep in part.reps:
+                view = gather_view(
+                    graph, rep, radius,
+                    ids=request.ids,
+                    inputs=request.inputs,
+                    randomness=request.randomness,
+                    orientation=request.orientation,
+                )
+                if tracer is not None:
+                    tracer.on_view(
+                        rep, view.radius, view.node_count, len(view.edges)
+                    )
+                table.append(algorithm.output(view))
+            kinfo = {"path": "fallback", "reason": str(exc)}
+        kinfo["entities"] = graph.n
+        kinfo["classes"] = part.class_count
+        if tracer is not None:
+            tracer.on_kernel("view", algorithm.name, kinfo)
+            tracer.on_run_end(radius)
+        return SimReport(
+            kind="view",
+            outputs=_kernels.broadcast_table(table, part.labels),
+            halt_rounds=[radius] * graph.n,
+            rounds=radius,
+            backend=self.name,
+            info={"distinct_classes": part.class_count,
+                  "kernel": kinfo["path"]},
+        )
+
+    def _run_edge_kernel(
+        self, request: SimRequest, tracer: Optional[Tracer]
+    ) -> SimReport:
+        """Edge-kind twin of :meth:`_run_view_kernel`."""
+        graph, algorithm = request.graph, request.algorithm
+        radius = algorithm.view_radius()
+        edges = list(graph.edges())
+        part = expander_for(graph, "kernel").edge_classes(
+            edges, radius,
+            ids=request.ids,
+            inputs=request.inputs,
+            randomness=request.randomness,
+            orientation=request.orientation,
+        )
+        if tracer is not None:
+            tracer.on_run_start("edge", algorithm.name, graph.m)
+            tracer.on_layout(
+                self.name, "kernel",
+                {"requested": request.layout, "entities": graph.m,
+                 "path": part.path, "classes": part.class_count},
+            )
+        try:
+            table = _kernels.run_view_kernel(algorithm, part)
+            kinfo = {"path": "vectorized", "reason": None}
+        except _kernels.KernelUnsupported as exc:
+            table = []
+            for rep in part.reps:
+                view = gather_edge_view(
+                    graph, edges[rep], radius,
+                    ids=request.ids,
+                    inputs=request.inputs,
+                    randomness=request.randomness,
+                    orientation=request.orientation,
+                )
+                if tracer is not None:
+                    tracer.on_view(
+                        edges[rep], view.radius, view.node_count,
+                        len(view.edges),
+                    )
+                table.append(algorithm.output_fn(view))
+            kinfo = {"path": "fallback", "reason": str(exc)}
+        kinfo["entities"] = graph.m
+        kinfo["classes"] = part.class_count
+        values = _kernels.broadcast_table(table, part.labels)
+        outputs: Dict[Edge, Any] = {
+            edge_key(u, v): value for (u, v), value in zip(edges, values)
+        }
+        if tracer is not None:
+            tracer.on_kernel("edge", algorithm.name, kinfo)
+            tracer.on_run_end(algorithm.rounds)
+        return SimReport(
+            kind="edge",
+            outputs=outputs,
+            rounds=algorithm.rounds,
+            backend=self.name,
+            info={"distinct_classes": part.class_count,
+                  "kernel": kinfo["path"]},
         )
 
     # -- "view": every node's radius-T ball, evaluated ------------------
@@ -163,6 +348,8 @@ class DirectEngine(Engine):
     ) -> SimReport:
         graph, algorithm = request.graph, request.algorithm
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            return self._run_view_kernel(request, tracer)
         gather = gather_view if layout == "dict" else gather_view_csr
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
@@ -201,6 +388,8 @@ class DirectEngine(Engine):
     ) -> SimReport:
         graph, algorithm = request.graph, request.algorithm
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            return self._run_edge_kernel(request, tracer)
         gather_edge = gather_edge_view if layout == "dict" else gather_edge_view_csr
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)

@@ -94,17 +94,26 @@ class SimRequest:
     depend on which backend ran.  ``label`` also names the request in
     shard-seed derivation and progress events.
 
-    ``layout`` selects the graph layout for ``view`` / ``edge`` kinds:
-    ``"dict"`` is the reference per-entity path over the adjacency
-    lists, ``"csr"`` routes class detection through the batched ball
-    expander over the compiled :class:`~repro.graphs.csr.CSRGraph`
-    arrays (:mod:`repro.local_model.batch_views`), and ``"auto"`` (the
-    default) lets each backend pick — the memoizing backends use
-    ``"csr"`` whenever the graph is frozen, the direct backend stays on
-    the reference path.  Layout choice is a pure performance knob: all
-    layouts produce bit-identical reports (``tests/test_csr_parity.py``
-    and the conformance ``layout-identity`` check prove it).  Other
-    kinds ignore the field.
+    ``layout`` selects the execution layout.  For ``view`` / ``edge``
+    kinds: ``"dict"`` is the reference per-entity path over the
+    adjacency lists, ``"csr"`` routes class detection through the
+    batched ball expander over the compiled
+    :class:`~repro.graphs.csr.CSRGraph` arrays
+    (:mod:`repro.local_model.batch_views`), and ``"kernel"`` adds the
+    vectorized class-table apply on top of the same partitions
+    (:mod:`repro.local_model.kernels`, contract in ``docs/KERNELS.md``)
+    with an exact per-representative fallback for algorithms without a
+    registered kernel.  For the ``"local"`` kind, ``"kernel"`` runs the
+    algorithm's registered round kernel (falling back to the reference
+    loop when it declines); other explicit layouts are ignored.
+    ``"auto"`` (the default) lets each backend pick — the memoizing
+    backends use ``"csr"`` for view/edge kinds whenever the graph is
+    frozen and escalate ``local`` runs to the round kernel when one is
+    registered; the direct backend stays on the reference path.  Layout
+    choice is a pure performance knob: all layouts produce bit-identical
+    reports (``tests/test_csr_parity.py``, ``tests/test_kernels.py``,
+    and the conformance ``layout-identity`` check prove it).  The
+    ``finite`` kind ignores the field.
     """
 
     kind: str

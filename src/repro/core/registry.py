@@ -222,6 +222,7 @@ _BUILTIN_MODULES = (
     "repro.algorithms.message_passing",
     "repro.algorithms.view_rules",
     "repro.algorithms.edge_rules",
+    "repro.algorithms.kernels",
     "repro.experiments.runner",
 )
 

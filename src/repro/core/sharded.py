@@ -140,6 +140,26 @@ def _run_request_chunk(payload: Tuple[str, Sequence[SimRequest]]) -> List[SimRep
     return [engine.run(request) for request in requests]
 
 
+def _run_request_chunk_metrics(
+    payload: Tuple[str, Sequence[SimRequest]],
+) -> List[Tuple[SimReport, Dict[str, Any]]]:
+    """Like :func:`_run_request_chunk`, but each request runs under a
+    fresh worker-side :class:`~repro.instrumentation.metrics.MetricsTracer`
+    whose folded counters ride back with the report — the parent relays
+    them through :meth:`~repro.instrumentation.tracer.Tracer.on_subrun`
+    so cache/layout/kernel activity inside workers is never lost."""
+    from ..instrumentation.metrics import MetricsTracer
+
+    inner, requests = payload
+    engine = resolve_engine(inner)
+    results = []
+    for request in requests:
+        metrics = MetricsTracer()
+        report = engine.run(request, tracer=metrics)
+        results.append((report, metrics.metrics.to_dict()))
+    return results
+
+
 class ShardedEngine(DirectEngine):
     """Process-pool backend over view-equivalence classes and requests.
 
@@ -310,6 +330,9 @@ class ShardedEngine(DirectEngine):
         tracer = effective_tracer(tracer)
         radius = algorithm.radius
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            # One vectorized class table: nothing left worth sharding.
+            return self._run_view_kernel(request, tracer)
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
         if layout == "dict":
@@ -370,6 +393,8 @@ class ShardedEngine(DirectEngine):
         tracer = effective_tracer(tracer)
         radius = algorithm.view_radius()
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
+        if layout == "kernel":
+            return self._run_edge_kernel(request, tracer)
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
         edges = list(graph.edges())
@@ -455,15 +480,43 @@ class ShardedEngine(DirectEngine):
         if len(chunks) > 1 and degraded is None:
             payloads = [(self.inner, chunk) for chunk in chunks]
             try:
-                chunk_reports = self._pool_map(_run_request_chunk, payloads)
-                return [report for chunk in chunk_reports for report in chunk]
+                if tracer is None:
+                    chunk_reports = self._pool_map(_run_request_chunk, payloads)
+                    return [
+                        report for chunk in chunk_reports for report in chunk
+                    ]
+                # Instrumented batch: workers run each request under
+                # their own MetricsTracer and ship the folded counters
+                # home alongside the report (cache/layout/kernel
+                # activity happens *inside* the workers — without this
+                # relay the parent's metrics would silently read zero).
+                chunk_pairs = self._pool_map(
+                    _run_request_chunk_metrics, payloads
+                )
+                reports = []
+                for chunk in chunk_pairs:
+                    for report, metrics in chunk:
+                        tracer.on_subrun(metrics)
+                        reports.append(report)
+                return reports
             except Exception as exc:
                 self.close()
                 degraded = f"pool-error: {type(exc).__name__}: {exc}"
         if degraded is not None and tracer is not None:
             tracer.on_degraded(self.name, degraded)
         engine = resolve_engine(self.inner)
-        reports = [engine.run(request) for request in requests]
+        if tracer is None:
+            reports = [engine.run(request) for request in requests]
+        else:
+            # Mirror the pooled path in-process so the metrics contract
+            # (one on_subrun per request) holds on every path.
+            from ..instrumentation.metrics import MetricsTracer
+
+            reports = []
+            for request in requests:
+                metrics = MetricsTracer()
+                reports.append(engine.run(request, tracer=metrics))
+                tracer.on_subrun(metrics.metrics.to_dict())
         if degraded is not None:
             for report in reports:
                 report.info["degraded"] = degraded

@@ -58,10 +58,16 @@ class RunMetrics:
     Memoizing engines (the cached view engines, the finite runner's
     ball tables) populate the ``cache_*`` counters — one lookup per
     computing entity, each a hit or a miss; ``cache_hit_rate`` is the
-    fraction served from the cache.  The sharded engine populates
-    ``shards`` and, when it falls back to an in-process path,
-    ``degradations`` / ``degraded_reasons`` (see
-    :meth:`~repro.instrumentation.tracer.Tracer.on_degraded`).
+    fraction served from the cache.  Kernel-layout runs populate the
+    ``kernel_*`` counters (``kernel_vectorized`` + ``kernel_fallbacks``
+    == ``kernel_runs``; see
+    :meth:`~repro.instrumentation.tracer.Tracer.on_kernel`).  The
+    sharded engine populates ``shards`` and, when it falls back to an
+    in-process path, ``degradations`` / ``degraded_reasons`` (see
+    :meth:`~repro.instrumentation.tracer.Tracer.on_degraded`); its
+    batch runs fold each worker-side request's counters back in through
+    :meth:`~repro.instrumentation.tracer.Tracer.on_subrun`,
+    incrementing ``subruns`` once per folded request.
     """
 
     engine: str = ""
@@ -83,9 +89,16 @@ class RunMetrics:
     cache_distinct_classes: int = 0
     layout_dict_runs: int = 0
     layout_csr_runs: int = 0
+    layout_kernel_runs: int = 0
     layout_fallbacks: int = 0
     layout_entities: int = 0
     layout_classes: int = 0
+    kernel_runs: int = 0
+    kernel_vectorized: int = 0
+    kernel_fallbacks: int = 0
+    kernel_entities: int = 0
+    kernel_classes: int = 0
+    subruns: int = 0
     shards: int = 0
     degradations: int = 0
     degraded_reasons: List[str] = field(default_factory=list)
@@ -121,9 +134,16 @@ class RunMetrics:
             "cache_hit_rate": self.cache_hit_rate,
             "layout_dict_runs": self.layout_dict_runs,
             "layout_csr_runs": self.layout_csr_runs,
+            "layout_kernel_runs": self.layout_kernel_runs,
             "layout_fallbacks": self.layout_fallbacks,
             "layout_entities": self.layout_entities,
             "layout_classes": self.layout_classes,
+            "kernel_runs": self.kernel_runs,
+            "kernel_vectorized": self.kernel_vectorized,
+            "kernel_fallbacks": self.kernel_fallbacks,
+            "kernel_entities": self.kernel_entities,
+            "kernel_classes": self.kernel_classes,
+            "subruns": self.subruns,
             "shards": self.shards,
             "degradations": self.degradations,
             "degraded_reasons": list(self.degraded_reasons),
@@ -240,12 +260,23 @@ class MetricsTracer(Tracer):
     def on_layout(self, engine: str, layout: str, info: Dict[str, Any]) -> None:
         if layout == "dict":
             self.metrics.layout_dict_runs += 1
+        elif layout == "kernel":
+            self.metrics.layout_kernel_runs += 1
         else:
             self.metrics.layout_csr_runs += 1
         if info.get("path") == "python":
             self.metrics.layout_fallbacks += 1
         self.metrics.layout_entities += info.get("entities", 0)
         self.metrics.layout_classes += info.get("classes", 0)
+
+    def on_kernel(self, engine: str, algorithm: str, info: Dict[str, Any]) -> None:
+        self.metrics.kernel_runs += 1
+        if info.get("path") == "vectorized":
+            self.metrics.kernel_vectorized += 1
+        else:
+            self.metrics.kernel_fallbacks += 1
+        self.metrics.kernel_entities += info.get("entities", 0)
+        self.metrics.kernel_classes += info.get("classes", 0)
 
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         self.metrics.cache_lookups += stats.get("lookups", 0)
@@ -260,6 +291,27 @@ class MetricsTracer(Tracer):
     def on_degraded(self, engine: str, reason: str) -> None:
         self.metrics.degradations += 1
         self.metrics.degraded_reasons.append(reason)
+
+    #: Counters :meth:`on_subrun` folds additively from worker metrics.
+    _SUBRUN_COUNTERS = (
+        "messages_sent", "messages_delivered", "bits_sent",
+        "views_gathered", "view_nodes", "view_edges",
+        "trials", "trial_successes",
+        "cache_lookups", "cache_hits", "cache_misses", "cache_bytes",
+        "cache_distinct_classes",
+        "layout_dict_runs", "layout_csr_runs", "layout_kernel_runs",
+        "layout_fallbacks", "layout_entities", "layout_classes",
+        "kernel_runs", "kernel_vectorized", "kernel_fallbacks",
+        "kernel_entities", "kernel_classes",
+        "degradations",
+    )
+
+    def on_subrun(self, metrics: Dict[str, Any]) -> None:
+        m = self.metrics
+        m.subruns += 1
+        for name in self._SUBRUN_COUNTERS:
+            setattr(m, name, getattr(m, name) + metrics.get(name, 0))
+        m.degraded_reasons.extend(metrics.get("degraded_reasons", ()))
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
         self.metrics.trials += 1

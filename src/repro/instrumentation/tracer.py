@@ -32,9 +32,14 @@ on_halt             message-passing engine, when a node commits + stops
 on_round_end        message-passing engine, after deliveries + receives
 on_view             view engines, once per materialized ball
 on_layout           view engines, once per run, with the resolved
-                    graph layout (dict vs batched CSR) and class counts
+                    graph layout (dict vs batched CSR vs kernel) and
+                    class counts
+on_kernel           kernel-layout runs, once per run, saying whether the
+                    vectorized kernel or the exact Python fallback ran
 on_cache            cached engines, once per run, with lookup stats
 on_shard            sharded engine, once per dispatched shard
+on_subrun           sharded batch runs, once per worker-side request,
+                    with that subrun's folded metrics dict
 on_trial            finite runner, once per Monte Carlo trial
 on_stage            speedup pipeline, once per ladder stage
 on_run_end          every engine, once, after the result is assembled
@@ -115,6 +120,21 @@ class Tracer:
         ``"python"`` fallback) and ``classes`` (the partition size).
         """
 
+    def on_kernel(self, engine: str, algorithm: str, info: Dict[str, Any]) -> None:
+        """A kernel-layout run reports which execution path served it.
+
+        Fired once per run that resolved to ``layout="kernel"`` (see
+        ``docs/KERNELS.md``), by every backend.  ``info`` carries
+        ``path`` — ``"vectorized"`` when a registered NumPy kernel ran,
+        ``"fallback"`` when the exact per-entity Python path did —
+        plus ``reason`` (why the fallback ran: ``"no-kernel"``,
+        ``"unsupported: ..."``, ``"python-partition"``; ``None`` on the
+        vectorized path), ``entities``, and, for view/edge kinds,
+        ``classes`` (the partition size) or, for the local kind,
+        ``rounds``.  Kernel choice never changes results — only how
+        they were computed.
+        """
+
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         """A memoizing engine reports its per-run cache statistics.
 
@@ -144,6 +164,20 @@ class Tracer:
         Degradation never changes results — only how they were computed
         — and the matching :class:`~repro.core.SimReport` carries the
         same reason under ``info["degraded"]``.
+        """
+
+    def on_subrun(self, metrics: Dict[str, Any]) -> None:
+        """A fanned-out subrun finished; ``metrics`` is its folded summary.
+
+        Fired by the sharded engine's :meth:`~repro.core.engine.Engine.
+        run_many` once per request when a tracer is attached: each
+        worker-side run is observed by its own
+        :class:`~repro.instrumentation.metrics.MetricsTracer`, and the
+        resulting :meth:`~repro.instrumentation.metrics.RunMetrics.
+        to_dict` payload is relayed to the parent through this hook —
+        so cache/layout/kernel counters from worker processes are never
+        lost.  :class:`MetricsTracer` folds the additive counters into
+        the parent's :class:`~repro.instrumentation.metrics.RunMetrics`.
         """
 
     def on_trial(self, index: int, succeeded: bool, failing_nodes: int) -> None:
@@ -203,6 +237,10 @@ class MultiTracer(Tracer):
         for t in self.tracers:
             t.on_layout(engine, layout, info)
 
+    def on_kernel(self, engine: str, algorithm: str, info: Dict[str, Any]) -> None:
+        for t in self.tracers:
+            t.on_kernel(engine, algorithm, info)
+
     def on_cache(self, engine: str, stats: Dict[str, Any]) -> None:
         for t in self.tracers:
             t.on_cache(engine, stats)
@@ -210,6 +248,10 @@ class MultiTracer(Tracer):
     def on_shard(self, index: int, items: int, seed: int) -> None:
         for t in self.tracers:
             t.on_shard(index, items, seed)
+
+    def on_subrun(self, metrics: Dict[str, Any]) -> None:
+        for t in self.tracers:
+            t.on_subrun(metrics)
 
     def on_degraded(self, engine: str, reason: str) -> None:
         for t in self.tracers:

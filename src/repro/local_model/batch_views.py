@@ -104,6 +104,7 @@ class ClassPartition:
 
     @property
     def class_count(self) -> int:
+        """Number of distinct view-equivalence classes in the partition."""
         return len(self.keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -497,11 +498,15 @@ class BatchBallExpander:
 # Layout registry + resolution (the engines' entry points)
 # ----------------------------------------------------------------------
 
-#: The two built-in layouts every view/edge request can name.
-LAYOUTS = ("dict", "csr")
+#: The built-in layouts every view/edge request can name.  ``"dict"``
+#: is the reference per-entity path, ``"csr"`` the batched expander,
+#: and ``"kernel"`` the expander plus a vectorized class-table apply
+#: (see :mod:`repro.local_model.kernels` and ``docs/KERNELS.md``).
+LAYOUTS = ("dict", "csr", "kernel")
 
 _LAYOUT_FACTORIES: Dict[str, Callable[[Graph], BatchBallExpander]] = {
     "csr": BatchBallExpander,
+    "kernel": BatchBallExpander,
 }
 
 
@@ -531,16 +536,17 @@ def known_layouts() -> Tuple[str, ...]:
 def expander_for(graph: Graph, layout: str = "csr") -> BatchBallExpander:
     """The expander instance serving ``layout`` on ``graph``.
 
-    The default ``"csr"`` expander is cached on the graph's compiled
-    layout (its block buffers are reusable); fixture layouts construct
-    fresh instances.
+    The built-in ``"csr"`` / ``"kernel"`` layouts share one expander
+    cached on the graph's compiled layout (its block buffers are
+    reusable, and the kernel layout consumes the very same partitions);
+    fixture layouts construct fresh instances.
     """
     factory = _LAYOUT_FACTORIES.get(layout)
     if factory is None:
         raise ValueError(
             f"unknown layout {layout!r} (have {known_layouts()})"
         )
-    if layout == "csr":
+    if layout in ("csr", "kernel"):
         csr = graph.csr()
         if csr._expander is None:
             csr._expander = BatchBallExpander(graph)
