@@ -1,0 +1,215 @@
+"""Benchmark regression guard for the incremental engine.
+
+Measures what :class:`~repro.core.IncrementalEngine` actually replaces:
+the *from-scratch recompute* a mutation forces on every other backend.
+On the same Δ ∈ {4, 6} balanced regular trees the CSR benchmark pins
+(n=4373 and n=4687, ball-signature radius 2), each repeat applies a
+delta through the primed incremental engine (timed), runs a fresh
+cached/CSR engine on the mutated graph (timed), asserts **bit-identity
+between the two reports inside the timed loop**, and then reverts the
+delta untimed so every repeat does identical work.  Asserts
+
+* the headline claim: **>= 5x speedup** for a single-edge delta on
+  both tree sizes — the number ``docs/INCREMENTAL.md`` quotes (the
+  footprint is a few dozen nodes out of ~4400, so the real ratio is
+  far higher; 5 is the regression floor);
+* no regression: each cell's speedup stays within **2x** of the
+  committed baseline (the last entry of
+  ``benchmarks/BENCH_incremental.json``) — a ratio of two timings on
+  the same machine, so machine-independent;
+* determinism: footprint sizes and changed-node counts match the
+  baseline exactly — they depend only on the graph and the delta,
+  never on the machine.
+
+The ``*-batch1pct-*`` cell mutates ~1% of the nodes in one batch
+(trajectory-guarded only: a hundred touched rows drag in a footprint
+of thousands on a shallow tree, so its ratio is structurally smaller
+than the single-edge cells').
+
+Run with ``BENCH_UPDATE=1`` to append the current measurements as a new
+trajectory entry (and commit the json); plain runs never write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.algorithms.view_rules import make_view_rule
+from repro.core import IncrementalEngine, SimRequest, derive_seed
+from repro.core.cached import CachedEngine
+from repro.graphs import GraphDelta, balanced_regular_tree
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_incremental.json")
+
+#: The measured grid.  Keep keys stable: they index the json trajectory.
+CONFIGS = {
+    "tree-d4-single-edge-r2": {"delta": 4, "depth": 7, "radius": 2,
+                               "batch": 1},
+    "tree-d6-single-edge-r2": {"delta": 6, "depth": 5, "radius": 2,
+                               "batch": 1},
+    "tree-d4-batch1pct-r2": {"delta": 4, "depth": 7, "radius": 2,
+                             "batch": 43},  # ~1% of n=4373
+}
+
+#: Cells that must meet the headline >= 5x bar (single-edge deltas on
+#: both regular-tree sizes — the tentpole's acceptance criterion).
+HEADLINE_MIN_SPEEDUP = 5.0
+HEADLINE_CONFIGS = ("tree-d4-single-edge-r2", "tree-d6-single-edge-r2")
+
+#: Regression tolerance against the committed baseline speedup.
+BASELINE_TOLERANCE = 2.0
+
+_REPEATS = 5
+
+
+def _delta_edges(graph, batch: int) -> List[Tuple[int, int]]:
+    """``batch`` deterministic non-tree leaf-to-leaf chords."""
+    rng = random.Random(derive_seed(0, f"bench-incremental-{batch}"))
+    edges: List[Tuple[int, int]] = []
+    chosen = set()
+    n = graph.n
+    while len(edges) < batch:
+        u, v = rng.randrange(n // 2, n), rng.randrange(n // 2, n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in chosen or graph.has_edge(*key):
+            continue
+        chosen.add(key)
+        edges.append(key)
+    return edges
+
+
+def _measure(config: Dict[str, Any]) -> Dict[str, Any]:
+    graph = balanced_regular_tree(config["delta"], config["depth"])
+    radius = config["radius"]
+    rule = make_view_rule("ball-signature", radius=radius)
+    engine = IncrementalEngine()
+    engine.run(
+        SimRequest(kind="view", graph=graph, algorithm=rule,
+                   label="bench-incremental")
+    )
+    edges = _delta_edges(graph, config["batch"])
+
+    def forward() -> GraphDelta:
+        return GraphDelta(
+            engine.current_graph, [("add", u, v) for u, v in edges]
+        )
+
+    def revert() -> None:
+        engine.apply(
+            GraphDelta(
+                engine.current_graph,
+                [("remove", u, v) for u, v in reversed(edges)],
+            )
+        )
+
+    # Untimed warmup: one full apply/recompute/revert cycle compiles the
+    # mutated CSR patch path and the fresh engine's expander buffers.
+    warm = forward()
+    engine.apply(warm)
+    CachedEngine().run(
+        SimRequest(kind="view", graph=warm.apply(), algorithm=rule,
+                   layout="csr", label="bench-incremental")
+    )
+    revert()
+
+    inc_times, ref_times = [], []
+    footprint = changed = 0
+    for _ in range(_REPEATS):
+        delta = forward()
+        start = time.perf_counter()
+        inc_report = engine.apply(delta)
+        inc_times.append(time.perf_counter() - start)
+        request = SimRequest(
+            kind="view", graph=delta.apply(), algorithm=rule,
+            layout="csr", label="bench-incremental",
+        )
+        fresh_engine = CachedEngine()  # fresh memo table per timing
+        start = time.perf_counter()
+        fresh = fresh_engine.run(request)
+        ref_times.append(time.perf_counter() - start)
+        # Exactness, inside the timed loop, every repeat: the speedup
+        # only counts because the answers are bit-identical.
+        assert inc_report.identity() == fresh.identity()
+        footprint = inc_report.info["footprint"]
+        changed = len(inc_report.changed_nodes)
+        revert()
+    ref_s, inc_s = min(ref_times), min(inc_times)
+    return {
+        "n": graph.n,
+        "reference_seconds": round(ref_s, 6),
+        "incremental_seconds": round(inc_s, 6),
+        "speedup": round(ref_s / inc_s, 3),
+        "footprint": footprint,
+        "changed_nodes": changed,
+    }
+
+
+def _load_bench() -> Dict[str, Any]:
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _baseline() -> Dict[str, Any]:
+    """The most recent committed trajectory entry."""
+    return _load_bench()["trajectory"][-1]["results"]
+
+
+@pytest.fixture(scope="module")
+def measurements() -> Dict[str, Dict[str, Any]]:
+    results = {name: _measure(config) for name, config in CONFIGS.items()}
+    if os.environ.get("BENCH_UPDATE") == "1":
+        data = _load_bench()
+        data["trajectory"].append(
+            {"entry": len(data["trajectory"]) + 1, "results": results}
+        )
+        with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def test_baseline_file_is_committed():
+    data = _load_bench()
+    assert data["schema"] == "repro.bench-incremental/1"
+    assert data["trajectory"], "baseline trajectory must not be empty"
+    assert set(_baseline()) == set(CONFIGS)
+
+
+@pytest.mark.parametrize("name", sorted(HEADLINE_CONFIGS))
+def test_headline_speedup_on_single_edge_deltas(measurements, name):
+    result = measurements[name]
+    assert result["n"] >= 4373
+    assert result["speedup"] >= HEADLINE_MIN_SPEEDUP, (
+        f"{name}: incremental apply is only {result['speedup']}x faster "
+        f"than a from-scratch recompute (need >= {HEADLINE_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_speedup_within_tolerance_of_baseline(measurements, name):
+    baseline = _baseline()[name]
+    current = measurements[name]
+    floor = baseline["speedup"] / BASELINE_TOLERANCE
+    assert current["speedup"] >= floor, (
+        f"{name}: speedup regressed to {current['speedup']}x, more than "
+        f"{BASELINE_TOLERANCE}x below the committed {baseline['speedup']}x"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_footprints_are_deterministic(measurements, name):
+    # Footprints and changed-node counts are functions of the graph and
+    # the (seed-derived) delta alone.
+    baseline = _baseline()[name]
+    current = measurements[name]
+    assert current["n"] == baseline["n"]
+    assert current["footprint"] == baseline["footprint"]
+    assert current["changed_nodes"] == baseline["changed_nodes"]

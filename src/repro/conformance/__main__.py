@@ -15,6 +15,10 @@ Fault-inject the sharded engine and self-test the pipeline end to end
 
     python -m repro.conformance --faults --self-test
 
+Smoke just the delta axis (incremental-engine mutation chains)::
+
+    python -m repro.conformance --cases 100 --checks delta-identity
+
 Exit status is 0 iff every requested pass succeeded.
 """
 
@@ -35,8 +39,9 @@ from .fixtures import (
     register_broken_fixture,
     register_broken_kernel_fixture,
     register_broken_layout_fixture,
+    stale_cache_incremental_engine,
 )
-from .fuzzer import run_case, sample_cases
+from .fuzzer import CHECK_NAMES, run_case, sample_cases
 from .shrink import shrink_case
 
 __all__ = ["main"]
@@ -63,7 +68,24 @@ def _parser() -> argparse.ArgumentParser:
                         help="list fuzzable contracts and exit")
     parser.add_argument("--max-shrink-evals", type=int, default=400,
                         help="evaluation budget per shrink (default 400)")
+    parser.add_argument("--checks", metavar="NAMES", default=None,
+                        help="comma-separated checks to run (default: all); "
+                             f"known: {', '.join(CHECK_NAMES)}")
     return parser
+
+
+def _parse_checks(spec: Optional[str]) -> Optional[set]:
+    """``--checks a,b`` -> a validated set, ``None`` -> run everything."""
+    if spec is None:
+        return None
+    names = {name.strip() for name in spec.split(",") if name.strip()}
+    unknown = names - set(CHECK_NAMES)
+    if unknown:
+        raise SystemExit(
+            f"unknown check name(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(CHECK_NAMES)})"
+        )
+    return names
 
 
 def _list_contracts() -> int:
@@ -85,10 +107,11 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     if not contracts:
         print("no fuzzable contracts registered")
         return 1
+    checks = _parse_checks(args.checks)
     cases = sample_cases(contracts, args.cases, args.seed)
     failures = []
     for i, (contract, case) in enumerate(cases):
-        result = run_case(contract, case)
+        result = run_case(contract, case, checks=checks)
         if result.ok:
             continue
         failures.append((i, result))
@@ -105,9 +128,10 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                     args.report, contract, shrunk.case, shrunk.failures
                 )
                 print(f"  repro artifact: {path}")
+    scope = f" (checks: {', '.join(sorted(checks))})" if checks else ""
     print(
         f"conformance: {len(cases) - len(failures)}/{len(cases)} cases "
-        f"passed across {len(contracts)} contracts"
+        f"passed across {len(contracts)} contracts{scope}"
     )
     return 1 if failures else 0
 
@@ -189,8 +213,31 @@ def _run_kernel_self_test(args: argparse.Namespace) -> int:
                 "self-test ok: broken view kernel caught by layout-identity "
                 f"on {case.graph_family} n={case.graph_params.get('n')}"
             )
-            return 0
+            return _run_delta_self_test(args)
     print("self-test FAIL: broken view kernel was never caught")
+    return 1
+
+
+def _run_delta_self_test(args: argparse.Namespace) -> int:
+    """Prove the delta axis catches an engine that skips invalidation."""
+    contracts = [
+        c for c in collect_contracts()
+        if c.kind in ("view", "edge") and c.deltas > 0
+    ]
+    for contract, case in sample_cases(contracts, 40, args.seed):
+        result = run_case(
+            contract, case,
+            checks={"delta-identity"},
+            incremental_factory=stale_cache_incremental_engine,
+        )
+        if "delta-identity" in result.failed_checks():
+            print(
+                "self-test ok: stale-cache incremental engine caught by "
+                f"delta-identity on {contract.algorithm} "
+                f"({case.graph_family} n={case.graph_params.get('n')})"
+            )
+            return 0
+    print("self-test FAIL: stale-cache incremental engine was never caught")
     return 1
 
 

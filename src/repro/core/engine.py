@@ -8,21 +8,28 @@ the oriented finite runner
 (:func:`~repro.speedup.finite_runner.run_node_algorithm_on_oriented_graph`)
 — is one *kind* of :class:`SimRequest`, and every outcome is one
 :class:`SimReport`.  An :class:`Engine` maps requests to reports; the
-three backends differ only in *how*:
+backends differ only in *how*:
 
-==========================================  =============================
-:class:`~repro.core.direct.DirectEngine`    evaluate every entity
-:class:`~repro.core.cached.CachedEngine`    evaluate once per canonical
-                                            view class (memo table)
-:class:`~repro.core.sharded.ShardedEngine`  dedupe view classes, fan the
-                                            class evaluations over a
-                                            process pool
-==========================================  =============================
+================================================  =========================
+:class:`~repro.core.direct.DirectEngine`          evaluate every entity
+:class:`~repro.core.cached.CachedEngine`          evaluate once per
+                                                  canonical view class
+                                                  (memo table)
+:class:`~repro.core.sharded.ShardedEngine`        dedupe view classes, fan
+                                                  the class evaluations
+                                                  over a process pool
+:class:`~repro.core.incremental.IncrementalEngine` stateful: prime once,
+                                                  then ``apply(delta)``
+                                                  re-evaluates only the
+                                                  delta's radius-t
+                                                  footprint
+================================================  =========================
 
-The exactness contract is absolute: for the same request, all three
-backends produce reports with equal :meth:`SimReport.identity` — bit
-for bit, proven over the full differential grid
-(``tests/test_differential.py``, ``tests/test_engine_backends.py``).
+The exactness contract is absolute: for the same request, all backends
+produce reports with equal :meth:`SimReport.identity` — bit for bit,
+proven over the full differential grid
+(``tests/test_differential.py``, ``tests/test_engine_backends.py``,
+and the delta-differential harness for the incremental backend).
 Backend choice is a pure performance knob.
 
 :func:`simulate` is the facade the rest of the system calls; the legacy
@@ -164,6 +171,13 @@ class SimReport:
     comparable core — what the differential suite asserts equal across
     backends; ``backend`` and ``info`` are diagnostics and may
     legitimately differ.
+
+    ``changed_nodes`` is populated only by the incremental backend's
+    ``apply`` path: the sorted nodes whose view class changed under the
+    delta that produced this report.  Like ``backend`` / ``info`` it is
+    diagnostic — deliberately outside :meth:`identity`, since a fresh
+    from-scratch run of the same mutated graph has no delta to compare
+    against (it reports ``None``).
     """
 
     kind: str
@@ -173,6 +187,7 @@ class SimReport:
     failing_nodes: Optional[List[int]] = None
     backend: str = ""
     info: Dict[str, Any] = field(default_factory=dict)
+    changed_nodes: Optional[List[int]] = None
 
     def identity(self) -> Tuple[Any, ...]:
         """The bit-comparable result: everything except diagnostics."""
@@ -247,7 +262,7 @@ class Engine:
 
 
 #: Engine names accepted by :func:`resolve_engine` / :func:`simulate`.
-ENGINE_NAMES = ("direct", "cached", "sharded")
+ENGINE_NAMES = ("direct", "cached", "sharded", "incremental")
 
 
 #: Default instances for the *stateless-by-name* backends.  ``direct``
@@ -263,13 +278,16 @@ def resolve_engine(engine: Union[None, str, Engine]) -> Engine:
     """Normalize an engine argument to an :class:`Engine` instance.
 
     ``None`` means the direct backend; strings name a backend
-    (``"direct"`` / ``"cached"`` / ``"sharded"``) constructed with
-    defaults; instances pass through.  Imported lazily so the facade
-    costs nothing for callers that never shard.  By-name ``direct`` and
-    ``sharded`` resolve to shared default instances (the sharded
-    default keeps its process pool warm across calls); ``cached``
-    constructs a fresh engine per call because a ``ViewCache`` is only
-    valid for one algorithm.
+    (``"direct"`` / ``"cached"`` / ``"sharded"`` / ``"incremental"``)
+    constructed with defaults; instances pass through.  Imported lazily
+    so the facade costs nothing for callers that never shard.  By-name
+    ``direct`` and ``sharded`` resolve to shared default instances (the
+    sharded default keeps its process pool warm across calls);
+    ``cached`` and ``incremental`` construct a fresh engine per call
+    because their memo/state is only valid for one algorithm (and, for
+    ``incremental``, one evolving run) — hold an
+    :class:`~repro.core.incremental.IncrementalEngine` instance
+    yourself to use its ``apply`` API.
     """
     if engine is None:
         engine = "direct"
@@ -279,6 +297,10 @@ def resolve_engine(engine: Union[None, str, Engine]) -> Engine:
         from .cached import CachedEngine
 
         return CachedEngine()
+    if engine == "incremental":
+        from .incremental import IncrementalEngine
+
+        return IncrementalEngine()
     if engine in _DEFAULT_ENGINES:
         return _DEFAULT_ENGINES[engine]
     if engine == "direct":

@@ -2,6 +2,7 @@
 
 from .graph import Graph, Edge, edge_key
 from .csr import CSRGraph
+from .delta import GraphDelta, GraphDeltaError, random_delta
 from .generators import (
     path,
     cycle,
@@ -35,6 +36,9 @@ from .identifiers import (
 __all__ = [
     "Graph",
     "CSRGraph",
+    "GraphDelta",
+    "GraphDeltaError",
+    "random_delta",
     "Edge",
     "edge_key",
     "path",

@@ -168,10 +168,19 @@ class BatchBallExpander:
         inputs: Optional[Sequence[Any]] = None,
         randomness: Optional[Sequence[Any]] = None,
         orientation: Optional[Any] = None,
+        sources: Optional[Sequence[int]] = None,
     ) -> ClassPartition:
-        """Partition all nodes by ``view_signature`` equality."""
+        """Partition nodes by ``view_signature`` equality.
+
+        With ``sources=None`` every node is partitioned; otherwise only
+        the listed nodes are (``labels[i]`` / ``reps[c]`` then index the
+        ``sources`` sequence).  Subset keys live in the same key space
+        as full-run keys — the packed stream of a ball does not depend
+        on which other balls share the pass — which is what lets the
+        incremental engine reuse a full run's memo for its dirty subset.
+        """
         return self.node_classes_many(
-            (radius,), ids, inputs, randomness, orientation
+            (radius,), ids, inputs, randomness, orientation, sources=sources
         )[0]
 
     def node_classes_many(
@@ -181,6 +190,7 @@ class BatchBallExpander:
         inputs: Optional[Sequence[Any]] = None,
         randomness: Optional[Sequence[Any]] = None,
         orientation: Optional[Any] = None,
+        sources: Optional[Sequence[int]] = None,
     ) -> List[ClassPartition]:
         """Partitions for several radii from ONE shared BFS pass.
 
@@ -189,17 +199,29 @@ class BatchBallExpander:
         ranks against that radius's per-source ball size (ranks are
         assigned in layer order, so membership in the radius-r ball is
         exactly ``rank < |B_r(v)|``).
+
+        ``sources`` restricts the partition to a node subset (see
+        :meth:`node_classes`); cost is then proportional to the subset's
+        ball volume, not n — the incremental engine's dirty-only pass.
         """
         n = self.csr.n
         cols, ok = self._label_columns(n, ids, inputs, randomness)
+        entities: Sequence[int] = range(n) if sources is None else list(sources)
         if orientation is not None or not ok or n == 0:
             return [
                 self._fallback(
-                    "node", range(n), r, ids, inputs, randomness, orientation
+                    "node", entities, r, ids, inputs, randomness, orientation
                 )
                 for r in radii
             ]
-        seeds = [np.arange(n, dtype=np.int64)]
+        if sources is None:
+            seeds = [np.arange(n, dtype=np.int64)]
+        else:
+            seeds = [np.asarray(entities, dtype=np.int64)]
+            if seeds[0].size == 0:
+                return [
+                    ClassPartition([], [], [], path="numpy") for _ in radii
+                ]
         flags = (ids is not None, inputs is not None, randomness is not None)
         return self._partition_numpy(seeds, tuple(radii), cols, "v", flags)
 
@@ -289,9 +311,13 @@ class BatchBallExpander:
             cols.append(col)
         return cols, True
 
-    def _local_matrix(self, n: int) -> np.ndarray:
-        if self._local is None:
-            self._local = np.full((self.block, n), -1, dtype=np.int32)
+    def _local_matrix(self, n: int, rows: int) -> np.ndarray:
+        # Sized to the actual source count, not the block ceiling: a
+        # subset pass (the incremental engine's dirty footprint) must
+        # not pay a block x n allocation for a handful of sources.
+        # Grow-on-demand keeps one buffer serving mixed call sizes.
+        if self._local is None or self._local.shape[0] < rows:
+            self._local = np.full((rows, n), -1, dtype=np.int32)
         return self._local
 
     def _partition_numpy(
@@ -308,7 +334,7 @@ class BatchBallExpander:
         big_radius = max(radii)
         s = len(seed_cols)
         total_sources = seed_cols[0].size
-        local = self._local_matrix(n)
+        local = self._local_matrix(n, max(1, min(self.block, total_sources)))
 
         # Streams hold ball sizes, degrees, local ranks (< n), and label
         # values: when every label fits in 32 bits the packed buffer can

@@ -172,13 +172,16 @@ class TestBuiltins:
 
 class TestEngineSeam:
     def test_engine_names_cover_all_backends(self):
-        assert ENGINE_NAMES == ("direct", "cached", "sharded")
+        assert ENGINE_NAMES == ("direct", "cached", "sharded", "incremental")
 
     def test_resolve_engine(self):
+        from repro.core import IncrementalEngine
+
         assert isinstance(resolve_engine(None), DirectEngine)
         assert isinstance(resolve_engine("direct"), DirectEngine)
         assert isinstance(resolve_engine("cached"), CachedEngine)
         assert isinstance(resolve_engine("sharded"), ShardedEngine)
+        assert isinstance(resolve_engine("incremental"), IncrementalEngine)
         engine = DirectEngine()
         assert resolve_engine(engine) is engine
         with pytest.raises(ValueError):

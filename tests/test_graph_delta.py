@@ -1,0 +1,340 @@
+"""Unit tests for :mod:`repro.graphs.delta`: validated mutation batches.
+
+Covers the whole GraphDelta contract: up-front op validation (every
+rejection is a :class:`GraphDeltaError` naming the offending op index),
+functional application (the base graph and its cached CSR arrays are
+*never* mutated — the regression pin for the freeze/CSR staleness bug),
+stale-handle rejection, ordered port bookkeeping (add-then-remove
+round-trips rows bit-for-bit), label application, dirty-ball footprints,
+CSR patch-vs-recompile equivalence, and :func:`random_delta`
+feasibility on degenerate graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphDelta,
+    GraphDeltaError,
+    complete_graph,
+    cycle,
+    path,
+    random_delta,
+    star,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+
+
+def _frozen_path(n: int = 6) -> Graph:
+    return path(n)  # generators freeze their graphs
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+
+def test_base_must_be_a_graph():
+    with pytest.raises(GraphDeltaError, match="must be a Graph"):
+        GraphDelta([[1], [0]], [("add", 0, 1)])
+
+
+def test_base_must_be_frozen():
+    g = Graph(4, [(0, 1)])
+    with pytest.raises(GraphDeltaError, match="must be frozen"):
+        GraphDelta(g, [("add", 1, 2)])
+
+
+@pytest.mark.parametrize(
+    "ops,message",
+    [
+        ([("grow", 0, 1)], "op 0: unknown delta op"),
+        ([()], "op 0: unknown delta op"),
+        ([("add", 0)], "op 0: 'add' takes exactly 2 operands"),
+        ([("add", 0, 1, 2)], "op 0: 'add' takes exactly 2 operands"),
+        ([("add", 0.5, 1)], "op 0: endpoints must be ints"),
+        ([("add", 0, 99)], r"op 0: edge \(0, 99\) out of range"),
+        ([("add", -1, 1)], r"op 0: edge \(-1, 1\) out of range"),
+        ([("add", 2, 2)], "op 0: self-loop at node 2"),
+        ([("add", 0, 1)], r"op 0: duplicate edge \(0, 1\)"),
+        ([("remove", 0, 3)], r"op 0: cannot remove missing edge \(0, 3\)"),
+        ([("set_id", "a", 7)], "op 0: label target must be an int"),
+        ([("set_id", 99, 7)], "op 0: node 99 out of range"),
+    ],
+)
+def test_invalid_ops_are_rejected(ops, message):
+    with pytest.raises(GraphDeltaError, match=message):
+        GraphDelta(_frozen_path(), ops)
+
+
+def test_validation_replays_sequentially():
+    g = _frozen_path(6)
+    # add(0,2) then remove(0,2) is valid even though (0,2) is no base edge
+    delta = GraphDelta(g, [("add", 0, 2), ("remove", 0, 2)])
+    assert delta.ops == (("add", 0, 2), ("remove", 0, 2))
+    # ...but the error positions still count from the start of the batch
+    with pytest.raises(GraphDeltaError, match=r"op 1: duplicate edge \(0, 2\)"):
+        GraphDelta(g, [("add", 0, 2), ("add", 0, 2)])
+
+
+def test_touched_nodes_cover_edge_endpoints_and_label_targets():
+    g = _frozen_path(6)
+    delta = GraphDelta(g, [("add", 0, 2), ("set_randomness", 5, 7)])
+    assert delta.touched_nodes() == (0, 2, 5)
+    assert delta.n == 6
+
+
+# ----------------------------------------------------------------------
+# Functional application (the freeze/CSR staleness regression)
+# ----------------------------------------------------------------------
+
+def test_apply_never_mutates_the_base():
+    g = _frozen_path(6)
+    before_rows = [list(r) for r in g.adjacency_rows()]
+    before_edges = set(g.edge_set())
+    delta = GraphDelta(g, [("add", 0, 3), ("remove", 1, 2)])
+    mutated = delta.apply()
+    assert [list(r) for r in g.adjacency_rows()] == before_rows
+    assert set(g.edge_set()) == before_edges
+    assert mutated is not g
+    assert mutated.is_frozen
+    assert mutated.has_edge(0, 3) and not mutated.has_edge(1, 2)
+
+
+def test_base_cached_csr_survives_apply_bit_for_bit():
+    """Regression: a delta must not corrupt the base's compiled layout.
+
+    The base's ``csr()`` arrays are cached on the Graph object; the
+    mutated result must get its *own* (patched) arrays while the base's
+    stay exactly the arrays its rows compile to.
+    """
+    g = cycle(12)
+    base_csr = g.csr()
+    indptr, indices = base_csr.indptr.copy(), base_csr.indices.copy()
+    delta = GraphDelta(g, [("add", 0, 6)])
+    mutated = delta.apply()
+    # Same object, same bits, still matching a fresh compile of the base.
+    assert g.csr() is base_csr
+    assert np.array_equal(base_csr.indptr, indptr)
+    assert np.array_equal(base_csr.indices, indices)
+    fresh = CSRGraph.from_graph(g)
+    assert np.array_equal(base_csr.indptr, fresh.indptr)
+    assert np.array_equal(base_csr.indices, fresh.indices)
+    # The mutated graph's layout reflects the new rows, not the stale base.
+    assert mutated.csr() is not base_csr
+    assert mutated.csr().degree(0) == 3
+
+
+def test_apply_to_rejects_stale_handles():
+    g1 = cycle(8)
+    g2 = cycle(8)
+    delta = GraphDelta(g1, [("add", 0, 4)])
+    with pytest.raises(GraphDeltaError, match="stale delta handle"):
+        delta.apply_to(g2)
+    # Even a handle to the *mutated* graph is stale for this delta.
+    mutated = delta.apply()
+    with pytest.raises(GraphDeltaError, match="stale delta handle"):
+        delta.apply_to(mutated)
+
+
+def test_apply_result_is_cached():
+    g = _frozen_path(5)
+    delta = GraphDelta(g, [("add", 0, 4)])
+    assert delta.apply() is delta.apply_to(g)
+
+
+def test_untouched_rows_are_shared_with_the_base():
+    g = _frozen_path(8)
+    delta = GraphDelta(g, [("add", 0, 2)])
+    mutated = delta.apply()
+    assert mutated.adjacency_rows()[6] is g.adjacency_rows()[6]
+    assert mutated.adjacency_rows()[0] is not g.adjacency_rows()[0]
+
+
+# ----------------------------------------------------------------------
+# Port bookkeeping
+# ----------------------------------------------------------------------
+
+def test_insert_occupies_the_highest_port():
+    g = cycle(6)
+    delta = GraphDelta(g, [("add", 0, 3)])
+    mutated = delta.apply()
+    assert tuple(mutated.neighbors(0)) == (1, 5, 3)
+    assert mutated.port_to(0, 3) == 2
+    assert mutated.port_to(3, 0) == 2
+
+
+def test_remove_shifts_later_ports_down():
+    g = star(4)  # center 0 with leaves 1..4
+    delta = GraphDelta(g, [("remove", 0, 2)])
+    mutated = delta.apply()
+    assert tuple(mutated.neighbors(0)) == (1, 3, 4)
+    assert mutated.port_to(0, 3) == 1  # was port 2 before the removal
+
+
+def test_add_then_remove_round_trips_rows_bit_for_bit():
+    g = cycle(10)
+    delta = GraphDelta(g, [("add", 2, 7), ("remove", 2, 7)])
+    mutated = delta.apply()
+    assert [list(r) for r in mutated.adjacency_rows()] == [
+        list(r) for r in g.adjacency_rows()
+    ]
+    assert set(mutated.edge_set()) == set(g.edge_set())
+
+
+# ----------------------------------------------------------------------
+# Label application
+# ----------------------------------------------------------------------
+
+def test_apply_to_labels_rewrites_copies():
+    g = _frozen_path(4)
+    delta = GraphDelta(
+        g,
+        [("set_id", 1, 99), ("set_input", 2, 5), ("set_randomness", 3, 8)],
+    )
+    ids, inputs, randomness = [10, 11, 12, 13], [0, 0, 0, 0], [1, 1, 1, 1]
+    new_ids, new_inputs, new_rand = delta.apply_to_labels(
+        ids, inputs, randomness
+    )
+    assert new_ids == [10, 99, 12, 13]
+    assert new_inputs == [0, 0, 5, 0]
+    assert new_rand == [1, 1, 1, 8]
+    # Inputs were copied, not mutated.
+    assert ids == [10, 11, 12, 13]
+    assert inputs == [0, 0, 0, 0]
+    assert randomness == [1, 1, 1, 1]
+
+
+@pytest.mark.parametrize(
+    "op,missing",
+    [
+        (("set_id", 0, 1), "set_id requires an ids labeling"),
+        (("set_input", 0, 1), "set_input requires an inputs labeling"),
+        (("set_randomness", 0, 1), "set_randomness requires a randomness"),
+    ],
+)
+def test_label_ops_require_their_labeling(op, missing):
+    delta = GraphDelta(_frozen_path(4), [op])
+    with pytest.raises(GraphDeltaError, match=missing):
+        delta.apply_to_labels()
+
+
+def test_label_passthrough_when_no_label_ops():
+    delta = GraphDelta(_frozen_path(4), [("add", 0, 2)])
+    new_ids, new_inputs, new_rand = delta.apply_to_labels([1, 2, 3, 4])
+    assert new_ids == [1, 2, 3, 4]
+    assert new_inputs is None and new_rand is None
+
+
+# ----------------------------------------------------------------------
+# Dirty-ball footprints
+# ----------------------------------------------------------------------
+
+def test_footprint_radius_zero_is_the_touched_set():
+    g = cycle(12)
+    delta = GraphDelta(g, [("add", 0, 6), ("set_randomness", 3, 1)])
+    assert delta.footprint(0) == [0, 3, 6]
+
+
+def test_footprint_grows_with_radius_and_stays_local():
+    g = cycle(12)
+    delta = GraphDelta(g, [("set_input", 0, 1)])
+    assert delta.footprint(1) == [0, 1, 11]
+    assert delta.footprint(2) == [0, 1, 2, 10, 11]
+    assert len(delta.footprint(2)) < g.n
+
+
+def test_footprint_covers_old_and_new_balls():
+    # Removing (2,3) disconnects the path; radius-1 must still cover the
+    # *old* neighbors across the cut (3 is adjacent to 2 only pre-delta)
+    # and the new ball misses nothing.
+    g = path(6)
+    delta = GraphDelta(g, [("remove", 2, 3)])
+    assert delta.footprint(1) == [1, 2, 3, 4]
+    # Adding a chord reaches radius-1 neighbors in the *new* graph.
+    delta2 = GraphDelta(g, [("add", 0, 5)])
+    assert delta2.footprint(1) == [0, 1, 4, 5]
+
+
+def test_footprint_empty_ops_and_negative_radius():
+    g = _frozen_path(5)
+    delta = GraphDelta(g, [])
+    assert delta.footprint(3) == []
+    with pytest.raises(ValueError, match="radius must be non-negative"):
+        GraphDelta(g, [("add", 0, 2)]).footprint(-1)
+
+
+# ----------------------------------------------------------------------
+# CSR patch vs recompile
+# ----------------------------------------------------------------------
+
+def _assert_csr_equal(a: CSRGraph, b: CSRGraph) -> None:
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.rev_ports, b.rev_ports)
+
+
+def test_small_delta_patches_the_compiled_layout():
+    g = cycle(32)
+    g.csr()  # compile the base layout so the delta can patch it
+    delta = GraphDelta(g, [("add", 0, 16)])
+    mutated = delta.apply()
+    assert delta.csr_mode == "patch"
+    _assert_csr_equal(mutated.csr(), CSRGraph.from_graph(mutated))
+
+
+def test_large_delta_recompiles_the_layout():
+    g = cycle(8)
+    g.csr()
+    ops = [("add", u, (u + 3) % 8) for u in range(4)]
+    delta = GraphDelta(g, ops)
+    mutated = delta.apply()
+    assert delta.csr_mode == "recompile"
+    _assert_csr_equal(mutated.csr(), CSRGraph.from_graph(mutated))
+
+
+def test_uncompiled_base_defers_layout():
+    g = Graph(6, [(i, i + 1) for i in range(5)]).freeze()
+    delta = GraphDelta(g, [("add", 0, 5)])
+    assert delta.csr_mode is None  # not built yet
+    mutated = delta.apply()
+    assert delta.csr_mode == "lazy"
+    _assert_csr_equal(mutated.csr(), CSRGraph.from_graph(mutated))
+
+
+# ----------------------------------------------------------------------
+# random_delta feasibility
+# ----------------------------------------------------------------------
+
+def test_random_delta_is_always_valid():
+    rng = random.Random(0)
+    graph = cycle(10)
+    ids = list(range(10))
+    randomness = [rng.getrandbits(8) for _ in range(10)]
+    for _ in range(200):
+        delta = random_delta(
+            graph, rng, ids=ids, randomness=randomness, max_ops=3
+        )
+        assert delta is not None
+        mutated = delta.apply_to(graph)
+        ids, _, randomness = delta.apply_to_labels(ids, None, randomness)
+        assert sorted(ids) == list(range(10))  # swaps preserve uniqueness
+        graph = mutated
+
+
+def test_random_delta_on_a_complete_graph_never_adds():
+    rng = random.Random(1)
+    g = complete_graph(5)
+    for _ in range(50):
+        delta = random_delta(g, rng, max_ops=1)
+        assert delta is not None
+        assert delta.ops[0][0] == "remove"
+
+
+def test_random_delta_returns_none_when_nothing_is_feasible():
+    g = Graph(1).freeze()
+    assert random_delta(g, random.Random(0)) is None
