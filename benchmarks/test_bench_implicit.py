@@ -1,0 +1,214 @@
+"""Benchmark regression guard for the implicit graph families.
+
+Measures the tentpole claim of the implicit refactor: exact class
+structure at n >= 10^6 with O(distinct classes) memory, three orders of
+magnitude past the n~4700 ceiling every materialized trajectory stops
+at.  Cells:
+
+* ``cycle-1e6-r2`` / ``torus-1e6-r2`` / ``tree-1e6-r2`` — headline
+  cells: exact radius-2 class multiplicities on a million-node family
+  via closed-form strata.  Each repeat runs the counter cold (fresh
+  expander) under ``tracemalloc`` and records peak traced memory; the
+  guard pins the exact class count and representative list (machine
+  independent) and caps peak memory at 64 MB — hundreds of MB under
+  what materializing 10^6 nodes costs, so a materialized path sneaking
+  in fails immediately.
+* ``tree-overlap-r2`` — the speed cell at the n=4373 overlap where the
+  materialized path still runs: implicit ``class_counts`` (timed) vs
+  the materialized full-partition expander (timed), **bit-identity of
+  keys/reps/multiplicities asserted inside the timed loop**, headline
+  >= 5x speedup (a few dozen strata windows vs a full blocked BFS over
+  every node), and the standard 2x baseline-ratio regression guard —
+  a ratio of two timings on one machine, so machine independent.
+
+Run with ``BENCH_UPDATE=1`` to append the current measurements as a new
+trajectory entry (and commit the json); plain runs never write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from typing import Any, Dict
+
+import pytest
+
+from repro.graphs import (
+    ImplicitCycle,
+    ImplicitTorus,
+    implicit_tree_of_size_at_least,
+)
+from repro.local_model.batch_views import (
+    BatchBallExpander,
+    ImplicitBallExpander,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_implicit.json")
+
+#: The measured grid.  Keep keys stable: they index the json trajectory.
+CONFIGS = {
+    "cycle-1e6-r2": {"kind": "headline", "family": "cycle", "radius": 2},
+    "torus-1e6-r2": {"kind": "headline", "family": "torus", "radius": 2},
+    "tree-1e6-r2": {"kind": "headline", "family": "tree", "radius": 2},
+    "tree-overlap-r2": {"kind": "overlap", "family": "tree", "radius": 2},
+}
+
+#: Headline instance size the 1e6 cells build their family at.
+HEADLINE_N = 1_000_000
+
+#: Peak traced memory each headline cell must stay under (MB).  A
+#: materialized 10^6-node dict graph alone costs hundreds of MB.
+HEADLINE_PEAK_MB = 64.0
+
+#: The overlap cell's speedup floor: counting a few dozen strata
+#: windows must beat a full blocked BFS over all n=4373 nodes.
+HEADLINE_MIN_SPEEDUP = 5.0
+
+#: Regression tolerance against the committed baseline speedup.
+BASELINE_TOLERANCE = 2.0
+
+_REPEATS = 3
+
+
+def _headline_handle(family: str):
+    if family == "cycle":
+        return ImplicitCycle(HEADLINE_N)
+    if family == "torus":
+        return ImplicitTorus(1000, 1000)
+    return implicit_tree_of_size_at_least(4, HEADLINE_N)[0]
+
+
+def _measure_headline(config: Dict[str, Any]) -> Dict[str, Any]:
+    radius = config["radius"]
+    times, peaks = [], []
+    classes = reps = total = None
+    for _ in range(_REPEATS):
+        handle = _headline_handle(config["family"])  # fresh, cold caches
+        tracemalloc.start()
+        start = time.perf_counter()
+        cc = ImplicitBallExpander(handle).class_counts(radius)
+        times.append(time.perf_counter() - start)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks.append(peak)
+        classes, reps, total = cc.class_count, list(cc.reps), cc.total
+    return {
+        "n": total,
+        "classes": classes,
+        "reps": reps,
+        "seconds": round(min(times), 6),
+        "peak_mb": round(max(peaks) / (1024 * 1024), 3),
+    }
+
+
+def _measure_overlap(config: Dict[str, Any]) -> Dict[str, Any]:
+    radius = config["radius"]
+    handle, _ = implicit_tree_of_size_at_least(4, 4000)  # n=4373 overlap
+    materialized = handle.materialized()
+    # Untimed warmup compiles the CSR arrays + expander buffers once.
+    BatchBallExpander(materialized).node_classes(radius)
+    ImplicitBallExpander(handle).class_counts(radius)
+
+    imp_times, ref_times = [], []
+    classes = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        cc = ImplicitBallExpander(handle).class_counts(radius)
+        imp_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        part = BatchBallExpander(materialized).node_classes(radius)
+        ref_times.append(time.perf_counter() - start)
+        # Exactness, inside the timed loop, every repeat: the speedup
+        # only counts because the answers are bit-identical.
+        assert cc.keys == part.keys
+        assert list(cc.reps) == list(part.reps)
+        bincount = [0] * part.class_count
+        for label in part.labels:
+            bincount[label] += 1
+        assert list(cc.counts) == bincount
+        classes = cc.class_count
+    ref_s, imp_s = min(ref_times), min(imp_times)
+    return {
+        "n": handle.n,
+        "classes": classes,
+        "reference_seconds": round(ref_s, 6),
+        "implicit_seconds": round(imp_s, 6),
+        "speedup": round(ref_s / imp_s, 3),
+    }
+
+
+def _measure(config: Dict[str, Any]) -> Dict[str, Any]:
+    if config["kind"] == "headline":
+        return _measure_headline(config)
+    return _measure_overlap(config)
+
+
+def _load_bench() -> Dict[str, Any]:
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _baseline() -> Dict[str, Any]:
+    """The most recent committed trajectory entry."""
+    return _load_bench()["trajectory"][-1]["results"]
+
+
+@pytest.fixture(scope="module")
+def measurements() -> Dict[str, Dict[str, Any]]:
+    results = {name: _measure(config) for name, config in CONFIGS.items()}
+    if os.environ.get("BENCH_UPDATE") == "1":
+        data = _load_bench()
+        data["trajectory"].append(
+            {"entry": len(data["trajectory"]) + 1, "results": results}
+        )
+        with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def test_baseline_file_is_committed():
+    data = _load_bench()
+    assert data["schema"] == "repro.bench-implicit/1"
+    assert data["trajectory"], "baseline trajectory must not be empty"
+    assert set(_baseline()) == set(CONFIGS)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(n for n, c in CONFIGS.items() if c["kind"] == "headline")
+)
+def test_headline_cells_stay_exact_and_small(measurements, name):
+    baseline = _baseline()[name]
+    current = measurements[name]
+    assert current["n"] >= HEADLINE_N
+    # Class structure is a function of the closed forms alone.
+    assert current["n"] == baseline["n"]
+    assert current["classes"] == baseline["classes"]
+    assert current["reps"] == baseline["reps"]
+    assert current["peak_mb"] <= HEADLINE_PEAK_MB, (
+        f"{name}: peak traced memory {current['peak_mb']} MB exceeds the "
+        f"{HEADLINE_PEAK_MB} MB ceiling — a materialized path leaked in"
+    )
+
+
+def test_overlap_headline_speedup(measurements):
+    result = measurements["tree-overlap-r2"]
+    assert result["n"] == 4373
+    assert result["speedup"] >= HEADLINE_MIN_SPEEDUP, (
+        f"implicit class counting is only {result['speedup']}x faster than "
+        f"the materialized full partition (need >= {HEADLINE_MIN_SPEEDUP}x)"
+    )
+
+
+def test_overlap_speedup_within_tolerance_of_baseline(measurements):
+    baseline = _baseline()["tree-overlap-r2"]
+    current = measurements["tree-overlap-r2"]
+    assert current["classes"] == baseline["classes"]
+    floor = baseline["speedup"] / BASELINE_TOLERANCE
+    assert current["speedup"] >= floor, (
+        f"tree-overlap-r2: speedup regressed to {current['speedup']}x, more "
+        f"than {BASELINE_TOLERANCE}x below the committed "
+        f"{baseline['speedup']}x"
+    )

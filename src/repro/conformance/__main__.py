@@ -34,9 +34,11 @@ from .artifact import replay_artifact, write_repro_artifact
 from .contracts import collect_contracts, contract_for
 from .fixtures import (
     BROKEN_CSR,
+    BROKEN_IMPLICIT,
     BROKEN_KERNEL,
     BROKEN_MIS,
     register_broken_fixture,
+    register_broken_implicit_fixture,
     register_broken_kernel_fixture,
     register_broken_layout_fixture,
     stale_cache_incremental_engine,
@@ -236,8 +238,25 @@ def _run_delta_self_test(args: argparse.Namespace) -> int:
                 f"delta-identity on {contract.algorithm} "
                 f"({case.graph_family} n={case.graph_params.get('n')})"
             )
-            return 0
+            return _run_implicit_self_test(args)
     print("self-test FAIL: stale-cache incremental engine was never caught")
+    return 1
+
+
+def _run_implicit_self_test(args: argparse.Namespace) -> int:
+    """Prove the implicit axis catches a wrong-port closed form."""
+    register_broken_implicit_fixture()
+    contract = contract_for(BROKEN_IMPLICIT)
+    for _, case in sample_cases([contract], 20, args.seed):
+        result = run_case(contract, case)
+        if "implicit-identity" in result.failed_checks():
+            print(
+                "self-test ok: wrong-port implicit family caught by "
+                f"implicit-identity on {case.graph_family} "
+                f"n={case.graph_params.get('n')}"
+            )
+            return 0
+    print("self-test FAIL: wrong-port implicit family was never caught")
     return 1
 
 

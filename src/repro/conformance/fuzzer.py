@@ -31,6 +31,18 @@ seed, and explicit labelings.  :func:`run_case` runs it through
     Outputs are unchanged under a strictly monotone remapping of
     identifiers and randomness — the Naor–Stockmeyer order-invariance
     property for algorithms that only *compare* labels.
+``implicit-identity`` (when the case's graph family registers an
+    ``implicit_builder``)
+    The family's symbolic :class:`~repro.graphs.implicit.ImplicitGraph`
+    twin must reproduce the materialized run bit for bit: identical
+    SimReports through the layout backends, *and* identical ball-class
+    partitions (keys, labels, representatives) between the implicit
+    window expander and the materialized CSR expander — the partition
+    comparison catches closed-form drift (e.g. a wrong port numbering)
+    that a port-insensitive algorithm's outputs would mask.  The
+    self-test proves the deliberately wrong-port family
+    (:data:`repro.conformance.fixtures.BROKEN_IMPLICIT_FAMILY`) is
+    caught.
 ``delta-identity`` (when the contract's ``deltas`` count is nonzero)
     A chain of seed-derived random :class:`~repro.graphs.delta.
     GraphDelta` mutations is applied through an
@@ -82,6 +94,7 @@ BACKENDS = ("direct", "cached", "sharded")
 CHECK_NAMES = (
     "halts", "verifier", "backend-identity", "layout-identity",
     "determinism", "port-permutation", "label-order", "delta-identity",
+    "implicit-identity",
 )
 
 #: Backends the ``layout-identity`` check runs each declared layout on:
@@ -310,6 +323,74 @@ def _run_label_mapped(
     return simulate(request, engine="direct")
 
 
+def _run_implicit_twin(
+    contract: Contract,
+    case: CaseSpec,
+    graph: Graph,
+    ids: Optional[List[int]],
+    randomness: Optional[List[int]],
+    base: Any,
+) -> List[CheckFailure]:
+    """The ``implicit-identity`` check body (see the module docstring).
+
+    Builds the family's symbolic twin from the registered
+    ``implicit_builder`` and demands (a) bit-identical SimReports
+    through every layout backend and (b) bit-identical ball-class
+    partitions against the materialized CSR expander.  (b) is the
+    teeth: an implicit family with a subtly wrong closed form (ports
+    swapped, rows reordered) can still satisfy (a) whenever the
+    algorithm ignores ports, but its packed streams cannot match.
+    """
+    from ..local_model.batch_views import expander_for
+
+    entry = GRAPH_FAMILIES.get(case.graph_family)
+    builder = entry.metadata["implicit_builder"]
+    twin = builder(**case.graph_params)
+    failures: List[CheckFailure] = []
+    request = _build_request(contract, case, twin, ids, randomness)
+    for backend in LAYOUT_BACKENDS:
+        report = simulate(request, engine=backend)
+        if report.identity() != base.identity():
+            failures.append(CheckFailure(
+                "implicit-identity",
+                f"implicit twin on {backend} diverges from the "
+                f"materialized report",
+            ))
+    radius = (
+        request.algorithm.radius
+        if contract.kind == "view"
+        else request.algorithm.view_radius()
+    )
+    implicit_expander = expander_for(twin, "implicit")
+    csr_expander = expander_for(graph, "csr")
+    if contract.kind == "view":
+        got = implicit_expander.node_classes(
+            radius, ids=ids, randomness=randomness
+        )
+        want = csr_expander.node_classes(
+            radius, ids=ids, randomness=randomness
+        )
+    else:
+        edges = list(graph.edges())
+        got = implicit_expander.edge_classes(
+            edges, radius, ids=ids, randomness=randomness
+        )
+        want = csr_expander.edge_classes(
+            edges, radius, ids=ids, randomness=randomness
+        )
+    if (
+        got.keys != want.keys
+        or list(got.labels) != list(want.labels)
+        or list(got.reps) != list(want.reps)
+    ):
+        failures.append(CheckFailure(
+            "implicit-identity",
+            "implicit ball-class partition diverges from the "
+            "materialized CSR partition (closed-form drift)",
+        ))
+    return failures
+
+
 def _run_delta_chain(
     contract: Contract,
     case: CaseSpec,
@@ -472,6 +553,19 @@ def run_case(
                     "label-order",
                     "outputs changed under a monotone label remapping",
                 ))
+        if (
+            enabled("implicit-identity")
+            and case.adjacency is None
+            and contract.kind in ("view", "edge")
+            and case.graph_family in GRAPH_FAMILIES
+            and GRAPH_FAMILIES.get(case.graph_family).metadata.get(
+                "implicit_builder"
+            )
+            is not None
+        ):
+            failures.extend(_run_implicit_twin(
+                contract, case, graph, ids, randomness, base,
+            ))
         if enabled("delta-identity") and contract.deltas > 0:
             failures.extend(_run_delta_chain(
                 contract, case, graph, ids, randomness, backends,

@@ -75,6 +75,7 @@ class DirectEngine(Engine):
             request.layout == "auto"
             and self.prefer_csr
             and getattr(request.graph, "is_frozen", False)
+            and getattr(request.graph, "can_materialize", True)
             and request.graph.n > 0
             and _kernels.local_kernel_for(request.algorithm) is not None
         )
@@ -350,7 +351,9 @@ class DirectEngine(Engine):
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if layout == "kernel":
             return self._run_view_kernel(request, tracer)
-        gather = gather_view if layout == "dict" else gather_view_csr
+        # Implicit handles duck-type the dict Graph API (closed-form
+        # rows); the CSR gather would force a guarded full synthesis.
+        gather = gather_view if layout in ("dict", "implicit") else gather_view_csr
         if tracer is not None:
             tracer.on_run_start("view", algorithm.name, graph.n)
             tracer.on_layout(
@@ -390,7 +393,11 @@ class DirectEngine(Engine):
         layout = resolve_layout(request.layout, graph, self.prefer_csr)
         if layout == "kernel":
             return self._run_edge_kernel(request, tracer)
-        gather_edge = gather_edge_view if layout == "dict" else gather_edge_view_csr
+        gather_edge = (
+            gather_edge_view
+            if layout in ("dict", "implicit")
+            else gather_edge_view_csr
+        )
         if tracer is not None:
             tracer.on_run_start("edge", algorithm.name, graph.m)
             tracer.on_layout(

@@ -110,10 +110,17 @@ class SimRequest:
     vectorized class-table apply on top of the same partitions
     (:mod:`repro.local_model.kernels`, contract in ``docs/KERNELS.md``)
     with an exact per-representative fallback for algorithms without a
-    registered kernel.  For the ``"local"`` kind, ``"kernel"`` runs the
+    registered kernel.  ``"implicit"`` serves
+    :class:`~repro.graphs.implicit.ImplicitGraph` family handles by
+    synthesizing CSR ball windows on demand (``docs/IMPLICIT.md``) — it
+    is only valid on implicit handles, just as ``"csr"``/``"kernel"``
+    require materialized graphs small enough to compile.  For the
+    ``"local"`` kind, ``"kernel"`` runs the
     algorithm's registered round kernel (falling back to the reference
     loop when it declines); other explicit layouts are ignored.
-    ``"auto"`` (the default) lets each backend pick — the memoizing
+    ``"auto"`` (the default) lets each backend pick — implicit handles
+    route to the synthesized ``"implicit"`` path on every backend, the
+    memoizing
     backends use ``"csr"`` for view/edge kinds whenever the graph is
     frozen and escalate ``local`` runs to the round kernel when one is
     registered; the direct backend stays on the reference path.  Layout

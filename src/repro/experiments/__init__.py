@@ -7,6 +7,9 @@ from .logstar_sweep import (
     LogStarSweepResult,
     run_logstar_sweep,
     DEFAULT_ID_BITS,
+    ImplicitLogStarPoint,
+    ImplicitLogStarResult,
+    run_logstar_sweep_implicit,
 )
 from .speedup_figures import (
     SpeedupFigureRow,
@@ -20,7 +23,14 @@ from .pstar_theorem4 import (
     Theorem4Result,
     run_theorem4,
 )
-from .classification import ClassRow, ClassificationResult, run_classification
+from .classification import (
+    ClassRow,
+    ClassificationResult,
+    run_classification,
+    ImplicitClassRow,
+    ImplicitClassificationResult,
+    run_classification_implicit,
+)
 from .lemma2_experiment import (
     plant_distance_k_weak_coloring,
     Lemma2Point,
@@ -62,6 +72,9 @@ __all__ = [
     "LogStarSweepPoint",
     "LogStarSweepResult",
     "run_logstar_sweep",
+    "ImplicitLogStarPoint",
+    "ImplicitLogStarResult",
+    "run_logstar_sweep_implicit",
     "DEFAULT_ID_BITS",
     "SpeedupFigureRow",
     "SpeedupFiguresResult",
@@ -74,6 +87,9 @@ __all__ = [
     "ClassRow",
     "ClassificationResult",
     "run_classification",
+    "ImplicitClassRow",
+    "ImplicitClassificationResult",
+    "run_classification_implicit",
     "plant_distance_k_weak_coloring",
     "Lemma2Point",
     "Lemma2Result",

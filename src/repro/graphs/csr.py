@@ -29,7 +29,7 @@ induced edge of every view.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,6 +114,74 @@ class CSRGraph:
         from .graph import Graph
 
         return cls.from_graph(Graph.from_adjacency(adjacency).freeze())
+
+    @classmethod
+    def synthesize(cls, row_of, n: int) -> "CSRGraph":
+        """Build the full layout from a closed-form row function.
+
+        ``row_of(v)`` must return node ``v``'s port-ordered neighbor
+        tuple; the resulting arrays are byte-identical to compiling the
+        materialized graph (:class:`~repro.graphs.implicit.ImplicitGraph`
+        handles call this, guarded, for the small-n parity overlap).
+        """
+        return cls._from_rows([row_of(v) for v in range(n)])
+
+    @classmethod
+    def synthesize_window(
+        cls,
+        row_of,
+        core: Sequence[int],
+        boundary: Sequence[int] = (),
+    ) -> Tuple["CSRGraph", Dict[int, int]]:
+        """Synthesize a self-contained sub-CSR over a ball window.
+
+        ``core`` nodes get their exact closed-form rows with neighbors
+        remapped to window-local ids; ``boundary`` nodes (the ring just
+        outside the deepest ball) are present only as targets — their
+        rows are left empty.  Every neighbor of a core node must lie in
+        ``core + boundary`` (the invariant :meth:`ImplicitGraph.window
+        <repro.graphs.implicit.ImplicitGraph.window>` provides).
+
+        Returns ``(layout, local_of)`` where ``local_of`` maps original
+        node ids to window-local ids (core first, in given order).
+
+        The window layout is for the batched ball expander only: it
+        reads ``indptr`` / ``indices`` / ``degrees`` of ball (core)
+        nodes exclusively.  Boundary rows being empty means their
+        ``degrees`` entries and the ``rev_ports`` table are *not*
+        meaningful — the expander never reads either for ball nodes'
+        streams, and no other consumer sees a window layout.
+        """
+        local: Dict[int, int] = {}
+        for v in core:
+            if v in local:
+                raise ValueError(f"duplicate window node {v}")
+            local[v] = len(local)
+        for v in boundary:
+            if v in local:
+                raise ValueError(f"duplicate window node {v}")
+            local[v] = len(local)
+        rows: List[List[int]] = []
+        for v in core:
+            try:
+                rows.append([local[u] for u in row_of(v)])
+            except KeyError as exc:
+                raise ValueError(
+                    f"window is not self-contained: neighbor {exc.args[0]} "
+                    f"of core node {v} is outside the window"
+                ) from None
+        rows.extend([] for _ in boundary)
+        n = len(rows)
+        degrees = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        pos = 0
+        for r in rows:
+            indices[pos : pos + len(r)] = r
+            pos += len(r)
+        rev = np.full(len(indices), -1, dtype=np.int64)
+        return cls(indptr, indices, rev), local
 
     @classmethod
     def _from_rows(cls, rows: Sequence[Sequence[int]]) -> "CSRGraph":

@@ -52,7 +52,9 @@ from .views import (
 
 __all__ = [
     "ClassPartition",
+    "ClassCounts",
     "BatchBallExpander",
+    "ImplicitBallExpander",
     "register_layout",
     "known_layouts",
     "expander_for",
@@ -111,6 +113,64 @@ class ClassPartition:
         return (
             f"ClassPartition(entities={len(self.labels)}, "
             f"classes={len(self.keys)}, path={self.path!r})"
+        )
+
+
+class ClassCounts:
+    """Exact view-class multiplicities of an implicit family's node set.
+
+    The O(distinct classes) companion of :class:`ClassPartition`: where a
+    partition carries one label per *node* (inherently O(n)), this
+    carries one ``(key, rep, count)`` triple per *class* — computed from
+    a closed-form strata decomposition without ever touching all n
+    nodes.  ``keys`` and ``reps`` match the materialized full scan's
+    first-occurrence order and representatives exactly (the strata
+    contract guarantees it; the parity suite proves it at overlap n),
+    and ``counts`` sum to ``n``.
+
+    Attributes
+    ----------
+    keys:
+        One hashable canonical key per class, in first-occurrence order
+        — the same key space as the vectorized :class:`ClassPartition`
+        keys, so memoized results are shareable.
+    reps:
+        ``reps[c]`` is the smallest node of class ``c`` (the identical
+        representative the materialized scan would pick).
+    counts:
+        ``counts[c]`` is the exact number of nodes in class ``c``.
+    path:
+        ``"numpy"`` (the window-synthesized vectorized path).
+    """
+
+    __slots__ = ("keys", "reps", "counts", "path")
+
+    def __init__(
+        self,
+        keys: List[Any],
+        reps: List[int],
+        counts: List[int],
+        path: str,
+    ):
+        self.keys = keys
+        self.reps = reps
+        self.counts = counts
+        self.path = path
+
+    @property
+    def class_count(self) -> int:
+        """Number of distinct view-equivalence classes."""
+        return len(self.keys)
+
+    @property
+    def total(self) -> int:
+        """Total multiplicity (equals the family's node count ``n``)."""
+        return sum(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClassCounts(classes={len(self.keys)}, "
+            f"total={self.total}, path={self.path!r})"
         )
 
 
@@ -251,6 +311,29 @@ class BatchBallExpander:
         flags = (ids is not None, inputs is not None, randomness is not None)
         return self._partition_numpy([us, vs], (radius,), cols, "e", flags)[0]
 
+    # -- stream element width -------------------------------------------
+    def _stream_dtype(self, cols: List[np.ndarray]) -> np.dtype:
+        """Packed-stream element type for the given label columns.
+
+        Streams hold ball sizes, degrees, local ranks (< n), and label
+        values: when every label fits in 32 bits the packed buffer can
+        be int32, halving the memory traffic of the pack + block-dedup
+        memcmp sort.  The element width is part of the class key, so
+        the two stream encodings occupy disjoint key spaces.
+
+        Factored out so the implicit window path can *force* the dtype
+        computed from the full n-length columns while packing only the
+        window-mapped slices — the reference full scan derives the
+        width from the full columns, and bit-identity requires matching
+        it even when the window happens to contain only small values.
+        """
+        for col in cols:
+            if col.size and (
+                int(col.min()) < -(2**31) or int(col.max()) > 2**31 - 1
+            ):
+                return np.dtype(np.int64)
+        return np.dtype(np.int32)
+
     # -- key derivation (override point for broken-layout fixtures) -----
     def _class_key(
         self, tag: str, radius: int, flags: Tuple[bool, ...], stream: bytes
@@ -336,18 +419,7 @@ class BatchBallExpander:
         total_sources = seed_cols[0].size
         local = self._local_matrix(n, max(1, min(self.block, total_sources)))
 
-        # Streams hold ball sizes, degrees, local ranks (< n), and label
-        # values: when every label fits in 32 bits the packed buffer can
-        # be int32, halving the memory traffic of the pack + block-dedup
-        # memcmp sort.  The element width is part of the class key, so
-        # the two stream encodings occupy disjoint key spaces.
-        stream_dtype = np.dtype(np.int32)
-        for col in cols:
-            if col.size and (
-                int(col.min()) < -(2**31) or int(col.max()) > 2**31 - 1
-            ):
-                stream_dtype = np.dtype(np.int64)
-                break
+        stream_dtype = self._stream_dtype(cols)
 
         classes: List[Dict[Any, int]] = [{} for _ in radii]
         keys: List[List[Any]] = [[] for _ in radii]
@@ -520,6 +592,247 @@ class BatchBallExpander:
         labels.extend(local_class[inverse.ravel()].tolist())
 
 
+class _WindowExpander(BatchBallExpander):
+    """Internal expander over a synthesized window CSR.
+
+    Constructed fresh per implicit pass (window widths vary call to
+    call, so the reusable local matrix cannot be shared), it reuses the
+    entire vectorized core of :class:`BatchBallExpander` unchanged —
+    which is what makes the window path byte-identical by construction.
+    Two deliberate deviations: the packed-stream dtype can be *forced*
+    to the full-column width (see
+    :meth:`BatchBallExpander._stream_dtype`), and class keys delegate
+    to the owning :class:`ImplicitBallExpander` so subclassed key
+    schemes (conformance fixtures) survive the window indirection.
+    """
+
+    def __init__(
+        self,
+        csr: Any,
+        owner: "ImplicitBallExpander",
+        stream_dtype: Optional[np.dtype] = None,
+    ):
+        self.graph = owner.graph
+        self.csr = csr
+        n = max(1, csr.n)
+        self.block = max(64, min(4096, self._BLOCK_BYTES // (4 * n)))
+        self._local: Optional[np.ndarray] = None
+        self._owner = owner
+        self._forced_dtype = stream_dtype
+
+    def _stream_dtype(self, cols: List[np.ndarray]) -> np.dtype:
+        """The owner-forced width, or the inherited rule when unforced."""
+        if self._forced_dtype is not None:
+            return self._forced_dtype
+        return super()._stream_dtype(cols)
+
+    def _class_key(
+        self, tag: str, radius: int, flags: Tuple[bool, ...], stream: bytes
+    ) -> Any:
+        """Delegate to the owning implicit expander's key scheme."""
+        return self._owner._class_key(tag, radius, flags, stream)
+
+
+class ImplicitBallExpander(BatchBallExpander):
+    """Ball-class machinery for implicit (closed-form) graph families.
+
+    Serves :class:`~repro.graphs.implicit.ImplicitGraph` handles through
+    the same interface as :class:`BatchBallExpander`, plus the
+    O(distinct classes) entry point the n >= 10^6 experiments run on:
+
+    * :meth:`node_classes` / :meth:`edge_classes` with explicit
+      ``sources`` / ``edges`` synthesize a CSR *window* around the
+      requested balls (:meth:`CSRGraph.synthesize_window
+      <repro.graphs.csr.CSRGraph.synthesize_window>`) and run the
+      inherited vectorized core over it — cost O(window volume),
+      independent of n, streams byte-identical to the materialized
+      full-graph pass (the window contains every row a ball stream
+      reads; the packed dtype is forced to the full-column width).
+    * With no ``sources`` the full partition is inherently O(n), so the
+      pass runs over the guarded full synthesized CSR —
+      bit-for-bit the materialized ``"csr"`` layout at overlap n, and
+      :class:`~repro.graphs.implicit.ImplicitMaterializeError` beyond
+      the limit (materialization must never sneak back in silently).
+    * :meth:`class_counts` / :meth:`class_counts_many` expand one ball
+      per closed-form *stratum* and multiply by stratum sizes: exact
+      class multiplicities, first-occurrence key/rep order identical to
+      the materialized scan, O(1) distinct classes on cycles/paths/tori
+      and O(depth) on balanced trees.
+
+    Orientation or non-int64 labelings take the inherited per-entity
+    reference fallback on the duck-typed handle (exact, O(entities)).
+    """
+
+    def __init__(self, graph: Any):
+        if not getattr(graph, "is_implicit", False):
+            raise ValueError(
+                "ImplicitBallExpander requires an ImplicitGraph handle"
+            )
+        self.graph = graph
+        self.csr = None  # windows are synthesized per pass
+        self.block = 0
+        self._local: Optional[np.ndarray] = None
+        self._full_inner: Optional[_WindowExpander] = None
+
+    # -- partition API (ClassPartition-compatible) ----------------------
+    def node_classes_many(
+        self,
+        radii: Sequence[int],
+        ids: Optional[Sequence[Any]] = None,
+        inputs: Optional[Sequence[Any]] = None,
+        randomness: Optional[Sequence[Any]] = None,
+        orientation: Optional[Any] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> List[ClassPartition]:
+        """Node partitions from closed-form windows (one shared BFS).
+
+        Same contract as :meth:`BatchBallExpander.node_classes_many`;
+        with ``sources`` the cost is O(ball volume) regardless of n,
+        without them the (O(n)-output) full pass runs over the guarded
+        synthesized CSR.
+        """
+        graph = self.graph
+        n = graph.n
+        cols, ok = self._label_columns(n, ids, inputs, randomness)
+        entities: Sequence[int] = range(n) if sources is None else list(sources)
+        if orientation is not None or not ok or n == 0:
+            return [
+                self._fallback(
+                    "node", entities, r, ids, inputs, randomness, orientation
+                )
+                for r in radii
+            ]
+        flags = (ids is not None, inputs is not None, randomness is not None)
+        if sources is None:
+            inner = self._full_expander()
+            return inner._partition_numpy(
+                [np.arange(n, dtype=np.int64)], tuple(radii), cols, "v", flags
+            )
+        seeds = np.asarray(entities, dtype=np.int64)
+        if seeds.size == 0:
+            return [ClassPartition([], [], [], path="numpy") for _ in radii]
+        return self._window_partition([seeds], tuple(radii), cols, "v", flags)
+
+    def edge_classes(
+        self,
+        edges: Sequence[Tuple[int, int]],
+        radius: int,
+        ids: Optional[Sequence[Any]] = None,
+        inputs: Optional[Sequence[Any]] = None,
+        randomness: Optional[Sequence[Any]] = None,
+        orientation: Optional[Any] = None,
+    ) -> ClassPartition:
+        """Edge partition over the window spanned by the endpoints."""
+        graph = self.graph
+        n = graph.n
+        cols, ok = self._label_columns(n, ids, inputs, randomness)
+        if orientation is not None or not ok or n == 0 or not edges:
+            return self._fallback(
+                "edge", edges, radius, ids, inputs, randomness, orientation
+            )
+        us = np.asarray([e[0] for e in edges], dtype=np.int64)
+        vs = np.asarray([e[1] for e in edges], dtype=np.int64)
+        flags = (ids is not None, inputs is not None, randomness is not None)
+        return self._window_partition([us, vs], (radius,), cols, "e", flags)[0]
+
+    # -- exact multiplicities (the O(classes) experiment path) ----------
+    def class_counts(self, radius: int) -> ClassCounts:
+        """Exact anonymous class multiplicities at one radius."""
+        return self.class_counts_many((radius,))[0]
+
+    def class_counts_many(self, radii: Sequence[int]) -> List[ClassCounts]:
+        """Exact anonymous class multiplicities, one BFS for all radii.
+
+        Expands one ball per stratum of ``strata(max(radii))`` (sound
+        for every smaller radius: identical deep balls have identical
+        shallow balls) and multiplies class membership by stratum
+        sizes.  Peak memory is O(window volume) = O(distinct classes *
+        ball volume); n only enters through the closed forms.
+
+        Raises
+        ------
+        RuntimeError
+            If the family's strata fail to cover n (a closed-form bug —
+            this is a cheap self-check, not a recoverable condition).
+        """
+        graph = self.graph
+        n = graph.n
+        radii = tuple(radii)
+        if n == 0:
+            return [ClassCounts([], [], [], path="numpy") for _ in radii]
+        strata = graph.strata(max(radii))
+        reps = np.asarray([rep for rep, _ in strata], dtype=np.int64)
+        sizes = [cnt for _, cnt in strata]
+        parts = self._window_partition(
+            [reps], radii, [], "v", (False, False, False)
+        )
+        out: List[ClassCounts] = []
+        for part in parts:
+            per_class = [0] * part.class_count
+            for i, c in enumerate(part.labels):
+                per_class[c] += sizes[i]
+            if sum(per_class) != n:
+                raise RuntimeError(
+                    f"strata of {graph!r} cover {sum(per_class)} of {n} "
+                    f"nodes — closed-form strata bug"
+                )
+            out.append(
+                ClassCounts(
+                    part.keys,
+                    [int(reps[i]) for i in part.reps],
+                    per_class,
+                    part.path,
+                )
+            )
+        return out
+
+    # -- internals ------------------------------------------------------
+    def _full_expander(self) -> _WindowExpander:
+        """The (cached) expander over the guarded full synthesized CSR."""
+        if self._full_inner is None:
+            self._full_inner = _WindowExpander(self.graph.csr(), self)
+        return self._full_inner
+
+    def _window_partition(
+        self,
+        seed_cols: List[np.ndarray],
+        radii: Tuple[int, ...],
+        cols: List[np.ndarray],
+        tag: str,
+        flags: Tuple[bool, ...],
+    ) -> List[ClassPartition]:
+        """Run the vectorized core over a synthesized ball window.
+
+        The window holds exact rows for every node within
+        ``max(radii)`` of the seeds plus an id-only boundary ring — the
+        exact set of rows / targets the packed streams read — so the
+        inherited ``_partition_numpy`` produces byte-identical streams,
+        keys, labels, and (seed-indexed) reps to the materialized
+        full-CSR pass over the same seeds.
+        """
+        from ..graphs.csr import CSRGraph
+
+        graph = self.graph
+        seen: Dict[int, None] = {}
+        for arr in seed_cols:
+            for v in arr.tolist():
+                seen.setdefault(int(v), None)
+        core, boundary = graph.window(list(seen), max(radii))
+        win, local_of = CSRGraph.synthesize_window(
+            graph.neighbors, core, boundary
+        )
+        mapped_seeds = [
+            np.asarray([local_of[int(v)] for v in arr], dtype=np.int64)
+            for arr in seed_cols
+        ]
+        members = np.asarray(core + boundary, dtype=np.int64)
+        mapped_cols = [col[members] for col in cols]
+        inner = _WindowExpander(win, self, self._stream_dtype(cols))
+        return inner._partition_numpy(
+            mapped_seeds, radii, mapped_cols, tag, flags
+        )
+
+
 # ----------------------------------------------------------------------
 # Layout registry + resolution (the engines' entry points)
 # ----------------------------------------------------------------------
@@ -533,6 +846,7 @@ LAYOUTS = ("dict", "csr", "kernel")
 _LAYOUT_FACTORIES: Dict[str, Callable[[Graph], BatchBallExpander]] = {
     "csr": BatchBallExpander,
     "kernel": BatchBallExpander,
+    "implicit": ImplicitBallExpander,
 }
 
 
@@ -565,6 +879,8 @@ def expander_for(graph: Graph, layout: str = "csr") -> BatchBallExpander:
     The built-in ``"csr"`` / ``"kernel"`` layouts share one expander
     cached on the graph's compiled layout (its block buffers are
     reusable, and the kernel layout consumes the very same partitions);
+    ``"implicit"`` serves :class:`~repro.graphs.implicit.ImplicitGraph`
+    handles through a window-synthesizing expander cached on the handle;
     fixture layouts construct fresh instances.
     """
     factory = _LAYOUT_FACTORIES.get(layout)
@@ -572,6 +888,17 @@ def expander_for(graph: Graph, layout: str = "csr") -> BatchBallExpander:
         raise ValueError(
             f"unknown layout {layout!r} (have {known_layouts()})"
         )
+    if layout == "implicit":
+        if not getattr(graph, "is_implicit", False):
+            raise ValueError(
+                'layout "implicit" requires an ImplicitGraph handle; '
+                f"got {type(graph).__name__} (use \"csr\" or \"dict\")"
+            )
+        if factory is ImplicitBallExpander:
+            if graph._expander is None:
+                graph._expander = ImplicitBallExpander(graph)
+            return graph._expander
+        return factory(graph)
     if layout in ("csr", "kernel"):
         csr = graph.csr()
         if csr._expander is None:
@@ -583,11 +910,15 @@ def expander_for(graph: Graph, layout: str = "csr") -> BatchBallExpander:
 def resolve_layout(layout: str, graph: Any, prefer_csr: bool) -> str:
     """Resolve a request's layout knob to a concrete layout name.
 
-    ``"auto"`` picks ``"csr"`` when the engine prefers it *and* the
-    graph is frozen and non-empty (the CSR layout only exists for
-    frozen graphs); anything explicit is validated and passed through.
+    ``"auto"`` routes :class:`~repro.graphs.implicit.ImplicitGraph`
+    handles to the synthesized ``"implicit"`` path, and otherwise picks
+    ``"csr"`` when the engine prefers it *and* the graph is frozen and
+    non-empty (the CSR layout only exists for frozen graphs); anything
+    explicit is validated and passed through.
     """
     if layout == "auto":
+        if getattr(graph, "is_implicit", False):
+            return "implicit" if getattr(graph, "n", 0) > 0 else "dict"
         if (
             prefer_csr
             and getattr(graph, "is_frozen", False)
@@ -595,6 +926,12 @@ def resolve_layout(layout: str, graph: Any, prefer_csr: bool) -> str:
         ):
             return "csr"
         return "dict"
+    if layout == "implicit" and not getattr(graph, "is_implicit", False):
+        raise ValueError(
+            'layout "implicit" requires an implicit graph family handle '
+            "(see docs/IMPLICIT.md); materialized graphs use "
+            '"dict"/"csr"/"kernel"'
+        )
     if layout != "dict" and layout not in _LAYOUT_FACTORIES:
         raise ValueError(
             f"unknown layout {layout!r} (have {known_layouts()})"
