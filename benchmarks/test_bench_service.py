@@ -1,0 +1,237 @@
+"""Benchmark regression guard for the service engine and daemon.
+
+Two measurement families:
+
+* **Warm-vs-cold speedup** — on the Δ ∈ {4, 6} balanced regular trees
+  the CSR and incremental benchmarks pin (n=4373 and n=4687,
+  ball-signature radius 2), each repeat times a *cold*
+  :class:`~repro.core.cached.CachedEngine` run on a freshly built
+  graph against a *warm* :class:`~repro.core.service.ServiceEngine`
+  request served from the cross-request class table, the memoized
+  partition, and the warm graph — the daemon's steady state.  Both
+  reports are asserted bit-identical to an untimed direct reference
+  **inside the timed loop**.  Asserts
+
+  - the headline claim: warm service responses are **>= 3x** faster
+    than a cold cached run on both tree sizes (the tentpole's
+    acceptance criterion; the observed ratio is far higher — the warm
+    path skips partitioning entirely);
+  - no regression: each cell's speedup stays within **2x** of the
+    committed baseline (a ratio of two timings on the same machine,
+    so machine-independent);
+  - determinism: node and class counts match the baseline exactly.
+
+* **Daemon mixed load** — boots a real ``python -m repro.serve``
+  subprocess, fires 30 verified mixed-kind requests from 3 concurrent
+  clients, and records p50/p99 latency and aggregate throughput.
+  Absolute latencies are machine-dependent, so they are recorded for
+  trajectory observability but only sanity-guarded (everything
+  completed, zero errors, zero identity mismatches).
+
+Run with ``BENCH_UPDATE=1`` to append the current measurements as a new
+trajectory entry (and commit the json); plain runs never write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+import pytest
+
+from repro.algorithms.view_rules import make_view_rule
+from repro.core import ServiceEngine, SimRequest, simulate
+from repro.core.cached import CachedEngine
+from repro.core.registry import build_graph
+from repro.serve.client import ServiceClient
+from repro.serve.loadgen import mixed_specs, run_load, spawn_daemon
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
+
+#: The measured grid.  Keep keys stable: they index the json trajectory.
+CONFIGS = {
+    "tree-d4-warm-vs-cold-r2": {"family": "tree",
+                                "params": {"delta": 4, "depth": 7},
+                                "radius": 2},
+    "tree-d6-warm-vs-cold-r2": {"family": "tree",
+                                "params": {"delta": 6, "depth": 5},
+                                "radius": 2},
+}
+
+LOAD_CELL = "daemon-mixed-load"
+LOAD_REQUESTS = 30
+LOAD_CLIENTS = 3
+
+#: The tentpole's acceptance bar: warm service vs cold cached engine.
+HEADLINE_MIN_SPEEDUP = 3.0
+
+#: Regression tolerance against the committed baseline speedup.
+BASELINE_TOLERANCE = 2.0
+
+_REPEATS = 5
+
+
+def _cold_graph(config: Dict[str, Any]):
+    spec = dict(config["params"])
+    spec["graph"] = config["family"]
+    return build_graph(spec)
+
+
+def _measure_speedup(config: Dict[str, Any]) -> Dict[str, Any]:
+    radius = config["radius"]
+    rule = make_view_rule("ball-signature", radius=radius)
+    label = f"bench-service-r{radius}"
+    reference_graph = _cold_graph(config)
+    n = reference_graph.n
+    base = simulate(
+        SimRequest(kind="view", graph=reference_graph, algorithm=rule,
+                   label=label),
+        engine="direct",
+    )
+    engine = ServiceEngine()
+    try:
+        # Untimed prime: the warm layers the daemon would have built
+        # serving earlier traffic (graph, partition, class table).
+        warm_graph = engine.warm_graph(config["family"], config["params"])
+        engine.run(SimRequest(kind="view", graph=warm_graph, algorithm=rule,
+                              label=label))
+        cold_times, warm_times = [], []
+        classes = 0
+        for _ in range(_REPEATS):
+            cold_request = SimRequest(
+                kind="view", graph=_cold_graph(config), algorithm=rule,
+                layout="csr", label=label,
+            )
+            start = time.perf_counter()
+            cold = CachedEngine().run(cold_request)
+            cold_times.append(time.perf_counter() - start)
+            # A fresh algorithm instance per repeat: warmth must come
+            # from the structural key, not object identity.
+            warm_request = SimRequest(
+                kind="view",
+                graph=engine.warm_graph(config["family"], config["params"]),
+                algorithm=make_view_rule("ball-signature", radius=radius),
+                label=label,
+            )
+            start = time.perf_counter()
+            warm = engine.run(warm_request)
+            warm_times.append(time.perf_counter() - start)
+            # Exactness, inside the timed loop, every repeat: the
+            # speedup only counts because the answers are identical.
+            assert cold.identity() == base.identity()
+            assert warm.identity() == base.identity()
+            assert warm.info["service"]["table_hit"] is True
+            classes = cold.info["distinct_classes"]
+    finally:
+        engine.close()
+    cold_s, warm_s = min(cold_times), min(warm_times)
+    return {
+        "n": n,
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3),
+        "distinct_classes": classes,
+    }
+
+
+def _measure_load() -> Dict[str, Any]:
+    proc, host, port = spawn_daemon()
+    try:
+        summary = run_load(
+            host, port, mixed_specs(LOAD_REQUESTS, n=32),
+            clients=LOAD_CLIENTS, verify=True,
+        )
+        with ServiceClient(host, port) as client:
+            client.shutdown()
+        exit_code = proc.wait(timeout=30)
+        proc = None
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+    return {
+        "requests": summary["requests"],
+        "completed": summary["completed"],
+        "clients": summary["clients"],
+        "throughput_rps": round(summary["throughput_rps"], 1),
+        "p50_seconds": round(summary["p50_seconds"], 6),
+        "p99_seconds": round(summary["p99_seconds"], 6),
+        "errors": len(summary["errors"]),
+        "identity_mismatches": len(summary["identity_mismatches"]),
+        "daemon_exit": exit_code,
+    }
+
+
+def _load_bench() -> Dict[str, Any]:
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _baseline() -> Dict[str, Any]:
+    """The most recent committed trajectory entry."""
+    return _load_bench()["trajectory"][-1]["results"]
+
+
+@pytest.fixture(scope="module")
+def measurements() -> Dict[str, Dict[str, Any]]:
+    results = {name: _measure_speedup(config)
+               for name, config in CONFIGS.items()}
+    results[LOAD_CELL] = _measure_load()
+    if os.environ.get("BENCH_UPDATE") == "1":
+        data = _load_bench()
+        data["trajectory"].append(
+            {"entry": len(data["trajectory"]) + 1, "results": results}
+        )
+        with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results
+
+
+def test_baseline_file_is_committed():
+    data = _load_bench()
+    assert data["schema"] == "repro.bench-service/1"
+    assert data["trajectory"], "baseline trajectory must not be empty"
+    assert set(_baseline()) == set(CONFIGS) | {LOAD_CELL}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_headline_warm_speedup(measurements, name):
+    result = measurements[name]
+    assert result["n"] >= 4373
+    assert result["speedup"] >= HEADLINE_MIN_SPEEDUP, (
+        f"{name}: warm service run is only {result['speedup']}x faster "
+        f"than a cold cached run (need >= {HEADLINE_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_speedup_within_tolerance_of_baseline(measurements, name):
+    baseline = _baseline()[name]
+    current = measurements[name]
+    floor = baseline["speedup"] / BASELINE_TOLERANCE
+    assert current["speedup"] >= floor, (
+        f"{name}: speedup regressed to {current['speedup']}x, more than "
+        f"{BASELINE_TOLERANCE}x below the committed {baseline['speedup']}x"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_workload_is_deterministic(measurements, name):
+    # Node and class counts are functions of the graph family alone.
+    baseline = _baseline()[name]
+    current = measurements[name]
+    assert current["n"] == baseline["n"]
+    assert current["distinct_classes"] == baseline["distinct_classes"]
+
+
+def test_daemon_load_cell_is_clean(measurements):
+    result = measurements[LOAD_CELL]
+    assert result["completed"] == result["requests"] == LOAD_REQUESTS
+    assert result["errors"] == 0
+    assert result["identity_mismatches"] == 0
+    assert result["daemon_exit"] == 0
+    assert result["throughput_rps"] > 0
+    assert 0 < result["p50_seconds"] <= result["p99_seconds"]

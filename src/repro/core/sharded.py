@@ -451,6 +451,31 @@ class ShardedEngine(DirectEngine):
         )
 
     # -- batches: shard whole independent requests ----------------------
+    def _run_chunk_serial(
+        self, chunk: Sequence[SimRequest], traced: bool
+    ) -> List[Any]:
+        """One chunk through a fresh ``inner`` engine, in-process.
+
+        Mirrors the worker functions exactly — one engine per chunk
+        (so a chunk's requests share a memo table just as they would
+        inside a worker process) and, when ``traced``, one fresh
+        :class:`~repro.instrumentation.metrics.MetricsTracer` per
+        request whose folded dict rides back with the report.  Returns
+        ``(report, metrics_dict)`` pairs when traced, bare reports
+        otherwise — the same shapes the pooled path produces.
+        """
+        engine = resolve_engine(self.inner)
+        if not traced:
+            return [engine.run(request) for request in chunk]
+        from ..instrumentation.metrics import MetricsTracer
+
+        results = []
+        for request in chunk:
+            metrics = MetricsTracer()
+            report = engine.run(request, tracer=metrics)
+            results.append((report, metrics.metrics.to_dict()))
+        return results
+
     def run_many(
         self,
         requests: Sequence[SimRequest],
@@ -458,12 +483,29 @@ class ShardedEngine(DirectEngine):
     ) -> List[SimReport]:
         """Fan independent requests over the pool, order preserved.
 
-        Each shard runs its requests through the ``inner`` backend in a
-        worker process.  Requests that cannot be pickled (lambdas in
-        algorithms, exotic labelings) force the serial in-process path
-        for the whole batch — correctness first — and every report in
-        the batch then carries the reason under ``info["degraded"]``,
-        mirroring the single-run contract.
+        Each shard (a contiguous chunk of the batch) runs its requests
+        through the ``inner`` backend in a worker process.  Degradation
+        is decided *per chunk*: a chunk that cannot be pickled (lambdas
+        in algorithms, exotic labelings) runs in-process while the
+        picklable chunks still pool, and only the degraded chunk's
+        reports carry the reason under ``info["degraded"]`` — mirroring
+        the single-run contract without punishing the healthy part of a
+        mixed batch.  A pool failure mid-batch (worker crash, timeout)
+        reassigns every pooled chunk to the serial path with a
+        ``pool-error`` reason.
+
+        Metrics folding happens in one assembly pass *after* all
+        evaluation: exactly one
+        :meth:`~repro.instrumentation.tracer.Tracer.on_subrun` per
+        request and one
+        :meth:`~repro.instrumentation.tracer.Tracer.on_degraded` per
+        degraded chunk, on every path.  (The previous implementation
+        relayed pooled metrics inside its ``try`` block, so an
+        exception raised after a partial relay fell through to a serial
+        mirror that re-folded the whole batch — double-counting every
+        ``cache_*`` counter.  The single-pass assembly makes that
+        impossible; ``tests/test_run_many_folding.py`` pins the folded
+        totals against per-shard sums.)
         """
         tracer = effective_tracer(tracer)
         requests = list(requests)
@@ -474,50 +516,58 @@ class ShardedEngine(DirectEngine):
             for i, chunk in enumerate(chunks):
                 seed = derive_seed(self.base_seed, f"run-many:shard-{i}")
                 tracer.on_shard(i, len(chunk), seed)
-        degraded = None
-        if len(chunks) > 1:
-            degraded = self._degradation_reason(requests)
-        if len(chunks) > 1 and degraded is None:
-            payloads = [(self.inner, chunk) for chunk in chunks]
+        # Per-chunk degradation decision.  A single-chunk batch runs
+        # in-process as a happy path (no pool to degrade from), exactly
+        # like _evaluate_shards.
+        multi = len(chunks) > 1
+        forbidden = "no-fork" if (multi and not _can_fork()) else None
+        reasons: List[Optional[str]] = []
+        for chunk in chunks:
+            if not multi:
+                reasons.append(None)
+            elif forbidden is not None:
+                reasons.append(forbidden)
+            elif not _picklable(list(chunk)):
+                reasons.append("unpicklable")
+            else:
+                reasons.append(None)
+        traced = tracer is not None
+        pooled_idx = [i for i in range(len(chunks)) if multi and reasons[i] is None]
+        results: Dict[int, List[Any]] = {}
+        if pooled_idx:
+            worker = _run_request_chunk_metrics if traced else _run_request_chunk
+            payloads = [(self.inner, chunks[i]) for i in pooled_idx]
             try:
-                if tracer is None:
-                    chunk_reports = self._pool_map(_run_request_chunk, payloads)
-                    return [
-                        report for chunk in chunk_reports for report in chunk
-                    ]
-                # Instrumented batch: workers run each request under
-                # their own MetricsTracer and ship the folded counters
-                # home alongside the report (cache/layout/kernel
-                # activity happens *inside* the workers — without this
-                # relay the parent's metrics would silently read zero).
-                chunk_pairs = self._pool_map(
-                    _run_request_chunk_metrics, payloads
-                )
-                reports = []
-                for chunk in chunk_pairs:
-                    for report, metrics in chunk:
-                        tracer.on_subrun(metrics)
-                        reports.append(report)
-                return reports
+                for i, chunk_result in zip(
+                    pooled_idx, self._pool_map(worker, payloads)
+                ):
+                    results[i] = chunk_result
             except Exception as exc:
+                # A worker died, raised, or the pool timed out: tear the
+                # pool down (a later run respawns it) and reassign every
+                # pooled chunk to the serial path with the reason.
                 self.close()
-                degraded = f"pool-error: {type(exc).__name__}: {exc}"
-        if degraded is not None and tracer is not None:
-            tracer.on_degraded(self.name, degraded)
-        engine = resolve_engine(self.inner)
-        if tracer is None:
-            reports = [engine.run(request) for request in requests]
-        else:
-            # Mirror the pooled path in-process so the metrics contract
-            # (one on_subrun per request) holds on every path.
-            from ..instrumentation.metrics import MetricsTracer
-
-            reports = []
-            for request in requests:
-                metrics = MetricsTracer()
-                reports.append(engine.run(request, tracer=metrics))
-                tracer.on_subrun(metrics.metrics.to_dict())
-        if degraded is not None:
-            for report in reports:
-                report.info["degraded"] = degraded
+                reason = f"pool-error: {type(exc).__name__}: {exc}"
+                results.clear()
+                for i in pooled_idx:
+                    reasons[i] = reason
+        for i, chunk in enumerate(chunks):
+            if i not in results:
+                results[i] = self._run_chunk_serial(chunk, traced)
+        # Single assembly pass, after all evaluation: relay metrics,
+        # mark degraded chunks, preserve input order.
+        reports: List[SimReport] = []
+        for i, chunk in enumerate(chunks):
+            reason = reasons[i] if multi else None
+            if reason is not None and tracer is not None:
+                tracer.on_degraded(self.name, reason)
+            for item in results[i]:
+                if traced:
+                    report, metrics = item
+                    tracer.on_subrun(metrics)
+                else:
+                    report = item
+                if reason is not None:
+                    report.info["degraded"] = reason
+                reports.append(report)
         return reports

@@ -1,0 +1,49 @@
+"""Engine-as-a-service: the long-lived simulation daemon.
+
+``python -m repro.serve`` boots an asyncio HTTP/JSON daemon (stdlib
+only) that accepts :class:`~repro.core.engine.SimRequest` specs over
+``POST /simulate``, validates them against the core registries,
+micro-batches concurrent requests through the engine seam, and serves
+them from a :class:`~repro.core.service.ServiceEngine`'s cross-request
+caches — warm class tables, warm CSR layouts, warm ball partitions.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — the wire format: a tagged JSON codec
+  that round-trips report identities bit-exactly, spec validation
+  against :data:`~repro.core.registry.GRAPH_FAMILIES` /
+  :data:`~repro.core.registry.ALGORITHMS`, and structured
+  :class:`~repro.serve.protocol.ProtocolError` payloads (never a
+  traceback on the wire).
+* :mod:`repro.serve.server` — the daemon: ``asyncio.start_server`` +
+  hand-rolled HTTP/1.1, a micro-batching dispatcher, per-request
+  timeouts that surface as the visible degradation contract, and
+  ``/healthz`` / ``/metrics`` / ``/shutdown`` endpoints.
+* :mod:`repro.serve.client` — a blocking ``http.client`` client that
+  decodes responses back into :class:`~repro.core.engine.SimReport`.
+* :mod:`repro.serve.loadgen` — a concurrent load generator measuring
+  p50/p99 latency and throughput while asserting every response
+  bit-identical to a local direct ``simulate()``.
+
+Protocol reference: ``docs/SERVICE.md``.
+"""
+
+from .protocol import (
+    ProtocolError,
+    build_request,
+    decode_report,
+    decode_value,
+    encode_report,
+    encode_value,
+)
+from .server import ServiceServer
+
+__all__ = [
+    "ProtocolError",
+    "ServiceServer",
+    "build_request",
+    "decode_report",
+    "decode_value",
+    "encode_report",
+    "encode_value",
+]

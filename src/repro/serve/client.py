@@ -1,0 +1,135 @@
+"""A blocking client for the simulation daemon (stdlib ``http.client``).
+
+:class:`ServiceClient` speaks the :mod:`repro.serve.protocol` wire
+format over a persistent keep-alive connection and decodes responses
+back into :class:`~repro.core.engine.SimReport` objects whose
+:meth:`~repro.core.engine.SimReport.identity` matches the served
+report bit for bit.  Server-side errors (structured JSON, never a
+traceback) surface as :class:`ServiceError` carrying the HTTP status
+and the server's error type/message.
+
+Usage::
+
+    with ServiceClient("127.0.0.1", 8787) as client:
+        report = client.simulate({
+            "kind": "view",
+            "graph": {"family": "cycle", "params": {"n": 64}},
+            "algorithm": {"name": "local-max", "params": {"radius": 1}},
+            "ids": list(range(64)),
+        })
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.engine import SimReport
+from .protocol import decode_report
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the daemon.
+
+    ``status`` is the HTTP status code; ``error_type`` / ``message``
+    mirror the server's JSON payload (``ProtocolError`` for 4xx spec
+    rejections, the engine exception's type for 500s); ``degraded``
+    carries the PR 4 degradation reason on timeout responses.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        degraded: Optional[str] = None,
+    ):
+        super().__init__(f"HTTP {status}: {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+        self.degraded = degraded
+
+
+class ServiceClient:
+    """One keep-alive connection to a running daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def __enter__(self) -> "ServiceClient":
+        """Open eagerly so connection errors surface at entry."""
+        self._connection()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Close the underlying connection."""
+        self.close()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the connection (the next call reconnects)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # A dropped keep-alive connection gets one clean retry.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+        if response.status >= 400:
+            error = data.get("error", {})
+            raise ServiceError(
+                response.status,
+                error.get("type", "Unknown"),
+                error.get("message", ""),
+                degraded=error.get("degraded"),
+            )
+        return data
+
+    # -- API ------------------------------------------------------------
+    def simulate(self, spec: Dict[str, Any]) -> SimReport:
+        """Serve one spec; returns the decoded report."""
+        return decode_report(self._call("POST", "/simulate", spec)["report"])
+
+    def simulate_many(self, specs: List[Dict[str, Any]]) -> List[SimReport]:
+        """Serve a batch in one round trip, order preserved."""
+        data = self._call("POST", "/simulate", {"requests": list(specs)})
+        return [decode_report(item) for item in data["reports"]]
+
+    def healthz(self) -> Dict[str, Any]:
+        """The daemon's liveness payload."""
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The engine's cross-request cache counters + server totals."""
+        return self._call("GET", "/metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop after draining in-flight work."""
+        return self._call("POST", "/shutdown")

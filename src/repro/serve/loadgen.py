@@ -1,0 +1,260 @@
+"""Load generator: concurrent mixed traffic with identity verification.
+
+Drives a running daemon with a reproducible mix of request kinds and
+graph families (:func:`mixed_specs`), measures per-request latency
+percentiles and aggregate throughput under N concurrent clients
+(:func:`run_load`), and — the part that makes it a test and not just a
+stopwatch — asserts every response bit-identical to a local direct
+``simulate()`` of the same spec.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.serve.loadgen --requests 50 \
+        --clients 4 --spawn
+
+``--spawn`` boots a fresh daemon subprocess on a free port, runs the
+load, posts ``/shutdown``, and checks the daemon exits cleanly —
+making the CI service smoke job a one-liner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.engine import simulate
+from .client import ServiceClient
+from .protocol import build_request
+
+__all__ = ["mixed_specs", "run_load", "spawn_daemon", "main"]
+
+
+def mixed_specs(count: int, seed: int = 0, n: int = 48) -> List[Dict[str, Any]]:
+    """A reproducible mix of specs across kinds, families, and rules.
+
+    Cycles through view / edge / local templates over cycle, path, and
+    torus families at size ~``n``.  Labelings derive deterministically
+    from ``seed`` and the request index, so two calls with equal
+    arguments produce byte-equal spec lists — which is what lets the
+    smoke job verify responses against local ground truth.
+    """
+    import random
+
+    specs: List[Dict[str, Any]] = []
+    rows = max(3, int(n ** 0.5))
+    templates: List[Tuple[str, Dict[str, Any], Dict[str, Any]]] = [
+        ("view", {"family": "cycle", "params": {"n": n}},
+         {"name": "local-max", "params": {"radius": 1}}),
+        ("view", {"family": "path", "params": {"n": n}},
+         {"name": "ball-signature", "params": {"radius": 2}}),
+        ("view", {"family": "torus", "params": {"rows": rows, "cols": rows}},
+         {"name": "random-priority", "params": {"radius": 1}}),
+        ("edge", {"family": "cycle", "params": {"n": n}},
+         {"name": "edge-parity", "params": {"rounds": 1}}),
+        ("edge", {"family": "path", "params": {"n": n}},
+         {"name": "edge-profile", "params": {"rounds": 1}}),
+        ("local", {"family": "cycle", "params": {"n": n}},
+         {"name": "luby-mis", "params": {}}),
+        ("local", {"family": "path", "params": {"n": n}},
+         {"name": "flood-leader-parity", "params": {}}),
+    ]
+    for i in range(count):
+        kind, graph, algorithm = templates[i % len(templates)]
+        size = graph["params"].get(
+            "n", graph["params"].get("rows", 0) * graph["params"].get("cols", 1)
+        )
+        rng = random.Random(seed * 100003 + i)
+        spec: Dict[str, Any] = {
+            "kind": kind,
+            "graph": graph,
+            "algorithm": algorithm,
+            "label": f"loadgen-{i}",
+            "seed": seed + i,
+        }
+        name = algorithm["name"]
+        if name in ("local-max", "luby-mis", "flood-leader-parity"):
+            ids = list(range(1, size + 1))
+            rng.shuffle(ids)
+            spec["ids"] = ids
+        if name in ("random-priority", "edge-profile"):
+            spec["randomness"] = [rng.randrange(1 << 16) for _ in range(size)]
+        specs.append(spec)
+    return specs
+
+
+def _percentile(latencies: List[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_load(
+    host: str,
+    port: int,
+    specs: List[Dict[str, Any]],
+    clients: int = 4,
+    verify: bool = True,
+) -> Dict[str, Any]:
+    """Fire ``specs`` at the daemon from ``clients`` concurrent threads.
+
+    Each thread owns one keep-alive :class:`ServiceClient` and pulls
+    specs from a shared queue, so the daemon sees genuinely concurrent
+    traffic (which its dispatcher micro-batches).  With ``verify``,
+    every response identity is compared against a local direct
+    ``simulate()`` of the same spec; mismatches are counted and the
+    offending labels reported.  Returns a JSON-ready summary with
+    p50/p99 latency (seconds), throughput (requests/second), and error
+    and mismatch counts.
+    """
+    lock = threading.Lock()
+    pending = list(enumerate(specs))
+    latencies: List[float] = []
+    responses: List[Optional[Any]] = [None] * len(specs)
+    errors: List[str] = []
+
+    def worker() -> None:
+        with ServiceClient(host, port) as client:
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    index, spec = pending.pop()
+                started = time.perf_counter()
+                try:
+                    report = client.simulate(spec)
+                except Exception as exc:
+                    with lock:
+                        errors.append(f"{spec.get('label')}: {exc}")
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    responses[index] = report
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}")
+        for i in range(max(1, clients))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    mismatches: List[str] = []
+    if verify:
+        for spec, report in zip(specs, responses):
+            if report is None:
+                continue
+            expected = simulate(build_request(spec), engine="direct")
+            if report.identity() != expected.identity():
+                mismatches.append(str(spec.get("label")))
+    completed = sum(1 for r in responses if r is not None)
+    return {
+        "requests": len(specs),
+        "completed": completed,
+        "clients": clients,
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall if wall > 0 else 0.0,
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "errors": errors,
+        "identity_mismatches": mismatches,
+        "verified": bool(verify),
+    }
+
+
+def spawn_daemon(
+    extra_args: Optional[List[str]] = None, startup_timeout: float = 30.0
+) -> Tuple[subprocess.Popen, str, int]:
+    """Boot ``python -m repro.serve`` on a free port; return (proc, host, port).
+
+    Reads the daemon's ``listening on host:port`` line from stdout (the
+    contract printed by ``repro.serve.__main__``).  Raises
+    ``RuntimeError`` with the captured output if the daemon dies or
+    stays silent past ``startup_timeout``.
+    """
+    args = [sys.executable, "-m", "repro.serve", "--port", "0"]
+    args += list(extra_args or ())
+    proc = subprocess.Popen(
+        args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + startup_timeout
+    assert proc.stdout is not None
+    while True:
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon did not announce its port in time")
+        line = proc.stdout.readline()
+        if not line:
+            proc.wait()
+            raise RuntimeError(
+                f"daemon exited {proc.returncode} before listening"
+            )
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[-1].strip()
+            host, _, port = address.rpartition(":")
+            return proc, host, int(port)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="drive the simulation daemon with verified mixed load",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--n", type=int, default=48,
+                        help="approximate graph size per request")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip local ground-truth identity checks")
+    parser.add_argument("--spawn", action="store_true",
+                        help="boot a fresh daemon, load it, shut it down")
+    args = parser.parse_args(argv)
+
+    specs = mixed_specs(args.requests, seed=args.seed, n=args.n)
+    proc: Optional[subprocess.Popen] = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            proc, host, port = spawn_daemon()
+        summary = run_load(
+            host, port, specs, clients=args.clients,
+            verify=not args.no_verify,
+        )
+        if proc is not None:
+            with ServiceClient(host, port) as client:
+                client.shutdown()
+            proc.wait(timeout=30)
+            summary["daemon_exit"] = proc.returncode
+            proc = None
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+    print(json.dumps(summary, indent=2))
+    failed = (
+        summary["errors"]
+        or summary["identity_mismatches"]
+        or summary["completed"] != summary["requests"]
+        or summary.get("daemon_exit") not in (None, 0)
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

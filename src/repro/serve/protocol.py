@@ -1,0 +1,297 @@
+"""The service wire format: specs in, reports out, bit-exactly.
+
+Two halves:
+
+* A **tagged JSON codec** (:func:`encode_value` / :func:`decode_value`)
+  that round-trips the value shapes engine reports actually contain.
+  JSON has no tuples and only string dict keys, but report identities
+  are built from tuples (edge keys, profile outputs) and edge-output
+  dicts keyed by ``(u, v)`` — so tuples encode as ``{"__t": [...]}``
+  and every dict encodes as an explicit pair list ``{"__m": [[k, v],
+  ...]}``.  Decoding restores the original object graph exactly, which
+  is what lets the conformance ``service-identity`` axis compare
+  served identities bit-for-bit against direct ``simulate()``.
+* A **spec layer** (:func:`validate_spec` / :func:`build_request`)
+  that turns a client's JSON request description into a
+  :class:`~repro.core.engine.SimRequest`, validating the graph family
+  and algorithm names against the core registries first.  Validation
+  failures raise :class:`ProtocolError`, which the server renders as a
+  structured 4xx JSON body — never a traceback on the wire.
+
+A spec is a JSON object::
+
+    {"kind": "view",
+     "graph": {"family": "cycle", "params": {"n": 128}},
+     "algorithm": {"name": "local-max", "params": {"radius": 2}},
+     "ids": [0, 1, ...],          # optional labelings
+     "seed": 7, "label": "probe"} # optional determinism knobs
+
+``graph.implicit: true`` requests the family's symbolic handle.  The
+``rng`` / ``tables`` / ``orientation`` request fields have no wire
+form (they are in-process objects); ``seed`` covers deterministic
+randomness across the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.engine import KINDS, SimReport, SimRequest
+from ..core.registry import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    RegistryError,
+    build_graph,
+    ensure_builtins,
+)
+
+__all__ = [
+    "ProtocolError",
+    "encode_value",
+    "decode_value",
+    "encode_report",
+    "decode_report",
+    "validate_spec",
+    "build_request",
+    "error_body",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request (rendered as HTTP 4xx)."""
+
+
+# -- tagged JSON codec --------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """Encode ``value`` into JSON-safe form, reversibly.
+
+    Scalars pass through; lists encode element-wise; tuples become
+    ``{"__t": [...]}``; dicts become ``{"__m": [[key, value], ...]}``
+    (pair lists, because JSON object keys are strings while edge
+    outputs key by tuple).  Anything else — an arbitrary object — has
+    no wire form and raises :class:`ProtocolError`.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__t": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            "__m": [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ]
+        }
+    raise ProtocolError(
+        f"value of type {type(value).__name__!r} has no wire encoding"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` exactly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if "__t" in value and len(value) == 1:
+            return tuple(decode_value(item) for item in value["__t"])
+        if "__m" in value and len(value) == 1:
+            return {
+                decode_value(k): decode_value(v) for k, v in value["__m"]
+            }
+        raise ProtocolError(f"undecodable JSON object: {sorted(value)!r}")
+    raise ProtocolError(
+        f"undecodable JSON value of type {type(value).__name__!r}"
+    )
+
+
+def encode_report(report: SimReport) -> Dict[str, Any]:
+    """The JSON-safe form of one :class:`~repro.core.engine.SimReport`."""
+    return {
+        "kind": report.kind,
+        "outputs": encode_value(report.outputs),
+        "rounds": report.rounds,
+        "halt_rounds": encode_value(report.halt_rounds),
+        "failing_nodes": encode_value(report.failing_nodes),
+        "backend": report.backend,
+        "info": encode_value(report.info),
+        "changed_nodes": encode_value(report.changed_nodes),
+    }
+
+
+def decode_report(data: Dict[str, Any]) -> SimReport:
+    """Rebuild a :class:`~repro.core.engine.SimReport` from the wire.
+
+    The decoded report's :meth:`~repro.core.engine.SimReport.identity`
+    equals the served report's, bit for bit — the codec round-trip
+    tests and the conformance ``service-identity`` axis pin this.
+    """
+    return SimReport(
+        kind=data["kind"],
+        outputs=decode_value(data["outputs"]),
+        rounds=data["rounds"],
+        halt_rounds=decode_value(data.get("halt_rounds")),
+        failing_nodes=decode_value(data.get("failing_nodes")),
+        backend=data.get("backend", ""),
+        info=decode_value(data.get("info")) or {},
+        changed_nodes=decode_value(data.get("changed_nodes")),
+    )
+
+
+# -- spec validation ----------------------------------------------------
+_OPTIONAL_FIELDS = (
+    "ids", "inputs", "randomness", "values", "seed", "deterministic",
+    "max_rounds", "layout", "label",
+)
+_KNOWN_FIELDS = frozenset(("kind", "graph", "algorithm") + _OPTIONAL_FIELDS)
+
+
+def _require_mapping(spec: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(spec, dict):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(spec).__name__}"
+        )
+    return spec
+
+
+def validate_spec(spec: Any) -> Dict[str, Any]:
+    """Check a raw JSON spec's shape and names; return it normalized.
+
+    Raises :class:`ProtocolError` naming the offending field for every
+    malformation: unknown fields, missing ``kind`` / ``graph`` /
+    ``algorithm``, an unregistered family or algorithm name, or an
+    algorithm whose registered ``kind`` does not match the request's.
+    """
+    spec = _require_mapping(spec, "request spec")
+    unknown = sorted(set(spec) - _KNOWN_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown spec field(s) {unknown} "
+            f"(known: {sorted(_KNOWN_FIELDS)})"
+        )
+    kind = spec.get("kind")
+    if kind not in KINDS:
+        raise ProtocolError(f"unknown request kind {kind!r} (have {KINDS})")
+    graph = _require_mapping(spec.get("graph"), "spec 'graph'")
+    family = graph.get("family")
+    if not isinstance(family, str):
+        raise ProtocolError("spec 'graph' needs a string 'family'")
+    ensure_builtins()
+    if family not in GRAPH_FAMILIES:
+        raise ProtocolError(
+            f"unknown graph family {family!r} "
+            f"(known: {', '.join(GRAPH_FAMILIES.names())})"
+        )
+    _require_mapping(graph.get("params", {}), "spec 'graph.params'")
+    algorithm = _require_mapping(spec.get("algorithm"), "spec 'algorithm'")
+    name = algorithm.get("name")
+    if not isinstance(name, str):
+        raise ProtocolError("spec 'algorithm' needs a string 'name'")
+    if name not in ALGORITHMS:
+        raise ProtocolError(
+            f"unknown algorithm {name!r} "
+            f"(known: {', '.join(ALGORITHMS.names())})"
+        )
+    registered_kind = ALGORITHMS.get(name).metadata.get("kind")
+    if registered_kind is not None and registered_kind != kind:
+        raise ProtocolError(
+            f"algorithm {name!r} is registered for kind "
+            f"{registered_kind!r}, not {kind!r}"
+        )
+    _require_mapping(algorithm.get("params", {}), "spec 'algorithm.params'")
+    for field in ("ids", "inputs", "randomness", "values"):
+        if field in spec and spec[field] is not None and not isinstance(
+            spec[field], list
+        ):
+            raise ProtocolError(f"spec {field!r} must be a list or null")
+    for field in ("seed", "max_rounds"):
+        if field in spec and spec[field] is not None and not isinstance(
+            spec[field], int
+        ):
+            raise ProtocolError(f"spec {field!r} must be an integer or null")
+    for field in ("layout", "label"):
+        if field in spec and not isinstance(spec[field], str):
+            raise ProtocolError(f"spec {field!r} must be a string")
+    return spec
+
+
+def build_request(
+    spec: Any,
+    engine: Optional[Any] = None,
+    algorithms: Optional[Dict[Any, Any]] = None,
+) -> SimRequest:
+    """Turn a validated spec into a :class:`~repro.core.engine.SimRequest`.
+
+    ``engine`` (a :class:`~repro.core.service.ServiceEngine`) serves
+    the graph from its warm LRU via
+    :meth:`~repro.core.service.ServiceEngine.warm_graph`; without one,
+    the graph is built cold through
+    :func:`~repro.core.registry.build_graph` — the path the load
+    generator uses for its local ground-truth runs.  ``algorithms``
+    (a mutable mapping) memoizes constructed algorithm instances per
+    ``(name, params)`` so repeat specs reuse one object.  Construction
+    errors (bad factory parameters) surface as :class:`ProtocolError`.
+    """
+    spec = validate_spec(spec)
+    graph_spec = spec["graph"]
+    family = graph_spec["family"]
+    params = dict(graph_spec.get("params", {}))
+    implicit = bool(graph_spec.get("implicit"))
+    try:
+        if engine is not None:
+            graph = engine.warm_graph(family, params, implicit=implicit)
+        else:
+            cold = dict(params)
+            cold["graph"] = family
+            if implicit:
+                cold["implicit"] = True
+            graph = build_graph(cold)
+    except (RegistryError, ValueError) as exc:
+        raise ProtocolError(f"cannot build graph: {exc}") from None
+    algo_spec = spec["algorithm"]
+    algo_params = dict(algo_spec.get("params", {}))
+    algo_key = (
+        algo_spec["name"], tuple(sorted(algo_params.items())),
+    )
+    algorithm = None
+    if algorithms is not None:
+        algorithm = algorithms.get(algo_key)
+    if algorithm is None:
+        try:
+            algorithm = ALGORITHMS.create(algo_spec["name"], **algo_params)
+        except (RegistryError, ValueError) as exc:
+            raise ProtocolError(f"cannot build algorithm: {exc}") from None
+        if algorithms is not None:
+            algorithms[algo_key] = algorithm
+    decoded: Dict[str, Any] = {}
+    for field in ("ids", "inputs", "randomness", "values"):
+        value = spec.get(field)
+        decoded[field] = None if value is None else [
+            decode_value(item) for item in value
+        ]
+    return SimRequest(
+        kind=spec["kind"],
+        graph=graph,
+        algorithm=algorithm,
+        ids=decoded["ids"],
+        inputs=decoded["inputs"],
+        randomness=decoded["randomness"],
+        values=decoded["values"],
+        seed=spec.get("seed"),
+        deterministic=bool(spec.get("deterministic", False)),
+        max_rounds=spec.get("max_rounds"),
+        layout=spec.get("layout", "auto"),
+        label=str(spec.get("label", "")),
+    )
+
+
+def error_body(exc: BaseException, degraded: Optional[str] = None) -> Dict[str, Any]:
+    """The structured JSON error payload (type + message, no traceback)."""
+    body: Dict[str, Any] = {
+        "error": {"type": type(exc).__name__, "message": str(exc)}
+    }
+    if degraded is not None:
+        body["error"]["degraded"] = degraded
+    return body

@@ -172,7 +172,9 @@ class TestBuiltins:
 
 class TestEngineSeam:
     def test_engine_names_cover_all_backends(self):
-        assert ENGINE_NAMES == ("direct", "cached", "sharded", "incremental")
+        assert ENGINE_NAMES == (
+            "direct", "cached", "sharded", "incremental", "service",
+        )
 
     def test_resolve_engine(self):
         from repro.core import IncrementalEngine
@@ -182,6 +184,9 @@ class TestEngineSeam:
         assert isinstance(resolve_engine("cached"), CachedEngine)
         assert isinstance(resolve_engine("sharded"), ShardedEngine)
         assert isinstance(resolve_engine("incremental"), IncrementalEngine)
+        from repro.core import ServiceEngine
+
+        assert isinstance(resolve_engine("service"), ServiceEngine)
         engine = DirectEngine()
         assert resolve_engine(engine) is engine
         with pytest.raises(ValueError):

@@ -1,0 +1,160 @@
+"""Property-based cold/warm parity for the service backend.
+
+The service engine's one non-negotiable claim: a *warm* response —
+served from cross-request class tables, memoized partitions, and warm
+graphs — is bit-identical on ``identity()`` to a cold direct run.
+Hypothesis drives that claim across all four request kinds, reusing
+the :mod:`tests.differential` grid for view and edge cases, and adds
+the pollution property the conformance probe is built on: interleaving
+*different* algorithms over the same graphs never bleeds one rule's
+outputs into another's.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.message_passing import LubyMIS
+from repro.core import ServiceEngine, SimRequest, simulate
+from repro.graphs import orient_torus, toroidal_grid
+from repro.graphs.identifiers import random_permutation_ids
+
+from .differential import (
+    _edge_case_inputs,
+    GRAPH_FAMILIES,
+    build_request,
+    edge_cases,
+    grid,
+)
+
+DEFAULT_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_VIEW_CASES = grid()
+_EDGE_CASES = edge_cases()
+
+
+def _assert_cold_warm_parity(make_request, label):
+    """Cold run, warm repeat, and direct reference all coincide."""
+    engine = ServiceEngine()
+    try:
+        base = simulate(make_request(), engine="direct")
+        cold = engine.run(make_request())
+        warm = engine.run(make_request())
+        assert cold.identity() == base.identity(), f"{label}: cold diverges"
+        assert warm.identity() == base.identity(), f"{label}: warm diverges"
+        assert cold.backend == warm.backend == "service"
+    finally:
+        engine.close()
+    return cold, warm
+
+
+@DEFAULT_SETTINGS
+@given(case=st.sampled_from(_VIEW_CASES))
+def test_view_cold_warm_parity(case):
+    cold, warm = _assert_cold_warm_parity(
+        lambda: build_request(case), case.case_id
+    )
+    assert warm.info["service"]["table_hit"] is True
+
+
+@DEFAULT_SETTINGS
+@given(case=st.sampled_from(_EDGE_CASES))
+def test_edge_cold_warm_parity(case):
+    graph_name, rounds = case
+
+    def make_request():
+        graph, alg, randomness = _edge_case_inputs(graph_name, rounds)
+        return SimRequest(kind="edge", graph=graph, algorithm=alg,
+                          randomness=randomness,
+                          label=f"svc-edge-t{rounds}-{graph_name}")
+
+    # The differential edge algorithm keys by its module-level output
+    # function, so it is keyable and the warm run must hit the table.
+    cold, warm = _assert_cold_warm_parity(
+        make_request, f"edge-t{rounds}-{graph_name}"
+    )
+    assert warm.info["service"]["table_hit"] is True
+
+
+@DEFAULT_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    family=st.sampled_from(sorted(GRAPH_FAMILIES)),
+)
+def test_local_cold_warm_parity(seed, family):
+    def make_request():
+        graph = GRAPH_FAMILIES[family]()
+        ids = random_permutation_ids(graph, random.Random(seed))
+        return SimRequest(kind="local", graph=graph, algorithm=LubyMIS(),
+                          ids=ids, seed=seed,
+                          label=f"svc-local-{family}-{seed}")
+
+    # Seed-based randomness: the warm repeat must replay the exact RNG
+    # stream, halt rounds included.
+    _assert_cold_warm_parity(make_request, f"local-{family}-{seed}")
+
+
+@DEFAULT_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rows=st.integers(min_value=3, max_value=5),
+    cols=st.integers(min_value=4, max_value=6),
+)
+def test_finite_cold_warm_parity(seed, rows, cols):
+    from repro.speedup import local_maximum_coloring
+
+    def make_request():
+        graph = toroidal_grid(rows, cols)
+        orientation = orient_torus(graph, rows, cols)
+        alg = local_maximum_coloring(2, bits=2)
+        rng = random.Random(seed)
+        values = [rng.randrange(alg.values) for _ in graph.nodes()]
+        return SimRequest(kind="finite", graph=graph, algorithm=alg,
+                          orientation=orientation, values=values,
+                          label=f"svc-finite-{rows}x{cols}-{seed}")
+
+    # identity() includes failing_nodes, so the checker verdict must
+    # also reproduce warm.
+    _assert_cold_warm_parity(make_request, f"finite-{rows}x{cols}-{seed}")
+
+
+@DEFAULT_SETTINGS
+@given(
+    pair=st.tuples(
+        st.sampled_from(_VIEW_CASES), st.sampled_from(_VIEW_CASES)
+    ).filter(lambda p: (p[0].rule, p[0].radius) != (p[1].rule, p[1].radius))
+)
+def test_interleaved_algorithms_never_pollute(pair):
+    # Two different rules, one shared engine, alternating requests: the
+    # tables key per algorithm, so each response must keep matching its
+    # own direct reference (the property the conformance probe checks
+    # adversarially with colliding signature radii).
+    a, b = pair
+    engine = ServiceEngine()
+    try:
+        base_a = simulate(build_request(a), engine="direct")
+        base_b = simulate(build_request(b), engine="direct")
+        for _ in range(2):
+            assert engine.run(build_request(a)).identity() == base_a.identity()
+            assert engine.run(build_request(b)).identity() == base_b.identity()
+    finally:
+        engine.close()
+
+
+@DEFAULT_SETTINGS
+@given(case=st.sampled_from(_VIEW_CASES), budget=st.sampled_from([1, 512]))
+def test_parity_survives_eviction_pressure(case, budget):
+    # A byte budget small enough to evict between requests must never
+    # change what is served — only how warm it is.
+    engine = ServiceEngine(max_bytes=budget)
+    try:
+        base = simulate(build_request(case), engine="direct")
+        for _ in range(3):
+            assert engine.run(build_request(case)).identity() == base.identity()
+    finally:
+        engine.close()

@@ -1,0 +1,174 @@
+"""Wire-format contract of the service protocol.
+
+The daemon's usefulness rests on two claims: every value a
+:class:`~repro.core.engine.SimReport` can carry survives the JSON
+codec bit for bit (tuples and tuple-keyed dicts included — JSON has
+neither), and every malformed spec dies as a structured
+:class:`~repro.serve.protocol.ProtocolError` *before* it reaches the
+engine.  This suite pins both, plus the cold/warm equivalence of
+:func:`~repro.serve.protocol.build_request`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ServiceEngine, simulate
+from repro.serve.protocol import (
+    ProtocolError,
+    build_request,
+    decode_report,
+    decode_value,
+    encode_report,
+    encode_value,
+    error_body,
+    validate_spec,
+)
+
+
+def _wire(value):
+    """Encode -> real JSON round-trip -> decode."""
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+def _view_spec(**overrides):
+    spec = {
+        "kind": "view",
+        "graph": {"family": "cycle", "params": {"n": 12}},
+        "algorithm": {"name": "local-max", "params": {"radius": 1}},
+        "ids": list(range(1, 13)),
+        "label": "proto-view",
+    }
+    spec.update(overrides)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [
+    None, True, False, 0, -7, 3.5, "text", [1, 2, 3], (1, 2, 3),
+    (1, (2, "x"), None), [(0, 1), (1, 2)],
+    {"a": 1, "b": [2, 3]},
+    {(0, 1): "uv", (1, 2): "vw"},           # tuple-keyed edge outputs
+    {1: (2, 3), "k": {(4, 5): [6, (7,)]}},  # nested mixtures
+    {},
+    (),
+])
+def test_codec_round_trips_exactly(value):
+    result = _wire(value)
+    assert result == value
+    assert type(result) is type(value)
+
+
+def test_codec_distinguishes_tuple_from_list():
+    assert _wire([1, 2]) == [1, 2]
+    assert _wire((1, 2)) == (1, 2)
+    assert type(_wire([(1, 2), [3, 4]])[0]) is tuple
+    assert type(_wire([(1, 2), [3, 4]])[1]) is list
+
+
+def test_codec_rejects_unencodable_values():
+    with pytest.raises(ProtocolError):
+        encode_value(object())
+    with pytest.raises(ProtocolError):
+        encode_value({1, 2})
+
+
+def test_report_identity_survives_the_wire():
+    for spec in (_view_spec(), {
+        "kind": "edge",
+        "graph": {"family": "cycle", "params": {"n": 10}},
+        "algorithm": {"name": "edge-parity", "params": {"rounds": 1}},
+        "label": "proto-edge",
+    }):
+        report = simulate(build_request(spec), engine="direct")
+        wired = decode_report(json.loads(json.dumps(encode_report(report))))
+        assert wired.identity() == report.identity()
+        assert wired.kind == report.kind
+        assert wired.backend == report.backend
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+
+def test_valid_spec_passes_validation():
+    validate_spec(_view_spec())  # must not raise
+
+
+@pytest.mark.parametrize("mutate,needle", [
+    (lambda s: s.update(bogus=1), "bogus"),
+    (lambda s: s.update(kind="holographic"), "kind"),
+    (lambda s: s.pop("kind"), "kind"),
+    (lambda s: s.update(graph={"family": "mobius", "params": {}}), "mobius"),
+    (lambda s: s.update(graph="cycle"), "graph"),
+    (lambda s: s.update(algorithm={"name": "no-such-rule", "params": {}}),
+     "no-such-rule"),
+    (lambda s: s.update(ids=5), "ids"),
+    (lambda s: s.update(seed="zero"), "seed"),
+    (lambda s: s.update(max_rounds="lots"), "max_rounds"),
+])
+def test_malformed_specs_raise_protocol_error(mutate, needle):
+    spec = _view_spec()
+    mutate(spec)
+    with pytest.raises(ProtocolError, match=needle):
+        validate_spec(spec)
+
+
+def test_kind_mismatch_is_a_protocol_error():
+    # local-max is registered kind="view"; claiming "edge" must die in
+    # validation, not as an engine-side type error.
+    spec = _view_spec(kind="edge")
+    with pytest.raises(ProtocolError):
+        validate_spec(spec)
+
+
+def test_registry_rejections_surface_as_protocol_errors():
+    # Validation passes (registered family, registered algorithm) but
+    # construction fails: bad parameter names become ProtocolError too.
+    spec = _view_spec()
+    spec["graph"]["params"] = {"n": -3}
+    with pytest.raises(ProtocolError):
+        build_request(spec)
+
+
+# ----------------------------------------------------------------------
+# build_request: cold vs engine-warm
+# ----------------------------------------------------------------------
+
+def test_build_request_cold_and_warm_agree():
+    engine = ServiceEngine()
+    try:
+        cold = build_request(_view_spec())
+        warm = build_request(_view_spec(), engine=engine)
+        assert warm.graph is engine.warm_graph("cycle", {"n": 12})
+        assert simulate(cold, engine="direct").identity() == \
+            simulate(warm, engine="direct").identity()
+    finally:
+        engine.close()
+
+
+def test_build_request_memoizes_algorithm_instances():
+    memo = {}
+    first = build_request(_view_spec(), algorithms=memo)
+    second = build_request(_view_spec(), algorithms=memo)
+    assert first.algorithm is second.algorithm
+    assert len(memo) == 1
+
+
+def test_build_request_decodes_wire_values():
+    spec = _view_spec()
+    spec["ids"] = [encode_value(i) for i in range(1, 13)]
+    request = build_request(spec)
+    assert request.ids == list(range(1, 13))
+
+
+def test_error_body_shape():
+    body = error_body(ProtocolError("bad spec"))
+    assert body == {"error": {"type": "ProtocolError", "message": "bad spec"}}
+    degraded = error_body(TimeoutError("slow"), degraded="pool-error: slow")
+    assert degraded["error"]["degraded"] == "pool-error: slow"

@@ -24,7 +24,11 @@ import sys
 import traceback
 from typing import List, Tuple
 
-_DEFAULT_FILES = ("README.md", os.path.join("docs", "KERNELS.md"))
+_DEFAULT_FILES = (
+    "README.md",
+    os.path.join("docs", "KERNELS.md"),
+    os.path.join("docs", "SERVICE.md"),
+)
 
 _OPEN_FENCE = re.compile(r"^(```|~~~)\s*python\s*$")
 _ANY_FENCE = re.compile(r"^(```|~~~)")
