@@ -29,14 +29,20 @@ import numpy as np
 
 from ..local_model.kernels import (
     KernelState,
+    KernelUnsupported,
     LocalKernel,
     PackedRows,
+    register_finite_kernel,
     register_local_kernel,
     register_view_kernel,
+    view_kernel_for,
 )
+from ..local_model.order_invariant import OrderInvariantProjection
+from ..speedup.algorithms import NodeAlgorithm
 from .message_passing import (
     ColeVishkinMP,
     FloodLeaderParity,
+    LubyMIS,
     RandomizedWeakColoring,
 )
 from .view_rules import LocalMaximumRule, RandomPriorityRule
@@ -45,6 +51,8 @@ __all__ = [
     "ColeVishkinKernel",
     "FloodKernel",
     "WeakColoringKernel",
+    "LubyMISKernel",
+    "node_algorithm_finite_kernel",
 ]
 
 _INTLIKE = (bool, int, np.integer)
@@ -64,6 +72,29 @@ def _local_max_kernel(algorithm: LocalMaximumRule, rows: PackedRows):
         .astype(np.int64)
         .tolist()
     )
+
+
+@register_view_kernel(OrderInvariantProjection)
+def _order_invariant_kernel(algorithm: OrderInvariantProjection,
+                            rows: PackedRows):
+    # The projection replaces each view's identifiers by their ranks
+    # and delegates; the kernel does the same on the packed streams.
+    # Packed exploration order equals the view's node order, so a
+    # stable per-segment sort reproduces Python's ``sorted`` ranks
+    # (ties keep exploration order) and the inner kernel — whose own
+    # contract proves the rest — sees exactly the projected views.
+    inner_fn = view_kernel_for(algorithm.inner)
+    if inner_fn is None:
+        raise KernelUnsupported("no-kernel")
+    vals, bounds = rows.column("ids")
+    seg = np.repeat(np.arange(rows.count, dtype=np.int64), rows.k)
+    order = np.lexsort((vals, seg))
+    ranks = np.empty(vals.shape[0], dtype=np.int64)
+    ranks[order] = (
+        np.arange(vals.shape[0], dtype=np.int64)
+        - np.repeat(bounds, rows.k) + 1
+    )
+    return inner_fn(algorithm.inner, rows.with_column("ids", ranks))
 
 
 @register_view_kernel(RandomPriorityRule)
@@ -313,3 +344,96 @@ class WeakColoringKernel(LocalKernel):
 
 
 register_local_kernel(RandomizedWeakColoring)(WeakColoringKernel)
+
+
+class LubyMISKernel(LocalKernel):
+    """Vectorized :class:`~repro.algorithms.message_passing.LubyMIS`.
+
+    Luby rounds pair up: odd rounds draw one 48-bit priority per still-
+    running node and compare against the neighborhood maximum (one
+    ``maximum.reduceat`` with a ``-1`` sentinel — strict local maxima
+    join, exactly the reference's vacuous-``all`` semantics for nodes
+    whose neighbors have all halted); even rounds scatter the join
+    decisions along live arcs, halting joiners ``True`` and their
+    neighbors ``False``.  Each priority comes from
+    ``random.Random(words[v])``, the reference node's private RNG, so
+    runs are bit-identical draw for draw.  The reference's port
+    bookkeeping needs no counterpart: a node only ever *announces* a
+    decision in the round it halts, so live arcs carry every message
+    the reference delivers.
+    """
+
+    def supports(self, request) -> Optional[str]:
+        """Decline orientations and randomness-forbidding runs."""
+        if request.orientation is not None:
+            return "unsupported: orientation"
+        if request.deterministic:
+            return "unsupported: deterministic run (randomness forbidden)"
+        return None
+
+    def init(self, state: KernelState) -> None:
+        """Build the private RNGs; isolated nodes join immediately."""
+        isolated = state.csr.degrees == 0
+        if isolated.any():
+            state.halt(isolated, [True] * int(isolated.sum()))
+        self.rngs = {
+            v: random.Random(state.words[v])
+            for v in np.flatnonzero(~isolated).tolist()
+        }
+        self.in_mask = np.zeros(state.n, dtype=bool)
+
+    def step(self, state: KernelState) -> None:
+        """One Luby half-step: priorities on odd rounds, decisions on even."""
+        csr = state.csr
+        active = ~state.halted
+        recv, sender = state.arc_src, csr.indices
+        live = active[recv] & active[sender]
+        if state.round % 2 == 1:
+            prio = np.zeros(state.n, dtype=np.int64)
+            for v in np.flatnonzero(active).tolist():
+                prio[v] = self.rngs[v].getrandbits(48)
+            contrib = np.append(
+                np.where(live, prio[sender], np.int64(-1)), np.int64(-1)
+            )
+            best = np.maximum.reduceat(contrib, csr.indptr[:-1])
+            self.in_mask = active & (prio > best)
+        else:
+            received_in = np.zeros(state.n, dtype=bool)
+            received_in[recv[live & self.in_mask[sender]]] = True
+            winners = self.in_mask & ~received_in
+            losers = active & received_in
+            state.halt(winners, [True] * int(winners.sum()))
+            state.halt(losers, [False] * int(losers.sum()))
+
+
+register_local_kernel(LubyMIS)(LubyMISKernel)
+
+
+# ----------------------------------------------------------------------
+# Finite kernels: distinct-assignment evaluation of the finite runner
+# ----------------------------------------------------------------------
+
+@register_finite_kernel(NodeAlgorithm)
+def node_algorithm_finite_kernel(algorithm, graph, values, tables):
+    """Evaluate a ``finite`` request through distinct assignment keys.
+
+    Registered on the :class:`~repro.speedup.algorithms.NodeAlgorithm`
+    base so every tree algorithm gets it (and the conformance
+    broken-trial fixture can shadow it on a subclass).  Encodes each
+    node's ball assignment as one base-``values`` integer, evaluates
+    only the distinct keys, and reduces the failing-node predicate as
+    array ops — the same outputs and the same ascending failing list
+    as the reference per-node loop.
+    """
+    from ..speedup import trial_kernel as tk
+
+    n = graph.n
+    if n == 0:
+        return [], []
+    if not all(isinstance(x, _INTLIKE) for x in values):
+        raise KernelUnsupported("unsupported: non-integer random values")
+    matrix = np.asarray(values, dtype=np.int64).reshape(1, n)
+    codes, outputs, inverse = tk.assignment_codes(algorithm, matrix, tables)
+    degrees, indptr, indices = tk.arc_arrays(graph)
+    failing = tk.failing_nodes(codes[0], degrees, indptr, indices)
+    return [outputs[i] for i in inverse[0].tolist()], failing

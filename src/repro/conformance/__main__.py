@@ -37,10 +37,12 @@ from .fixtures import (
     BROKEN_IMPLICIT,
     BROKEN_KERNEL,
     BROKEN_MIS,
+    BROKEN_TRIAL,
     register_broken_fixture,
     register_broken_implicit_fixture,
     register_broken_kernel_fixture,
     register_broken_layout_fixture,
+    register_broken_trial_fixture,
     stale_cache_incremental_engine,
     stale_eviction_service_engine,
 )
@@ -74,6 +76,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--checks", metavar="NAMES", default=None,
                         help="comma-separated checks to run (default: all); "
                              f"known: {', '.join(CHECK_NAMES)}")
+    parser.add_argument("--kind", metavar="KIND", default=None,
+                        choices=("local", "view", "edge", "finite"),
+                        help="fuzz only contracts of one request kind "
+                             "(default: all kinds)")
     return parser
 
 
@@ -107,8 +113,11 @@ def _list_contracts() -> int:
 
 def _run_fuzz(args: argparse.Namespace) -> int:
     contracts = collect_contracts()
+    if args.kind:
+        contracts = [c for c in contracts if c.kind == args.kind]
     if not contracts:
-        print("no fuzzable contracts registered")
+        print("no fuzzable contracts registered"
+              + (f" for kind {args.kind!r}" if args.kind else ""))
         return 1
     checks = _parse_checks(args.checks)
     cases = sample_cases(contracts, args.cases, args.seed)
@@ -278,8 +287,26 @@ def _run_service_self_test(args: argparse.Namespace) -> int:
                 f"service-identity on {contract.algorithm} "
                 f"({case.graph_family} n={case.graph_params.get('n')})"
             )
-            return 0
+            return _run_trial_self_test(args)
     print("self-test FAIL: stale-eviction service engine was never caught")
+    return 1
+
+
+def _run_trial_self_test(args: argparse.Namespace) -> int:
+    """Prove the finite layout axis catches a trial-flipping kernel."""
+    register_broken_trial_fixture()
+    contract = contract_for(BROKEN_TRIAL)
+    for _, case in sample_cases([contract], 20, args.seed):
+        result = run_case(contract, case)
+        if "layout-identity" in result.failed_checks():
+            print(
+                "self-test ok: trial-flipping finite kernel caught by "
+                f"layout-identity on {case.graph_family} "
+                f"rows={case.graph_params.get('rows')} "
+                f"cols={case.graph_params.get('cols')}"
+            )
+            return 0
+    print("self-test FAIL: trial-flipping finite kernel was never caught")
     return 1
 
 

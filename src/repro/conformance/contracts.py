@@ -27,9 +27,11 @@ Declaration vocabulary (registry metadata keys):
     Checks from :data:`KNOWN_INVARIANCES` this entry promises.
 ``layouts=(...)``
     Graph layouts the fuzzer's ``layout-identity`` check runs the
-    ``view`` / ``edge`` kinds under (names from
+    ``view`` / ``edge`` / ``finite`` kinds under (names from
     :func:`repro.local_model.batch_views.known_layouts`).  Defaults to
-    every production layout — ``("dict", "csr")`` — for those kinds;
+    every production layout — ``("dict", "csr", "kernel")`` — for the
+    view kinds and to ``("kernel",)`` for ``finite`` (the batched
+    distinct-assignment kernel versus the reference per-node loop);
     fixtures may name a registered broken layout instead.
 ``deltas=k``
     How many seed-derived random :class:`~repro.graphs.delta.
@@ -74,7 +76,7 @@ class Contract:
     """One fuzzable claim, normalized from registry metadata."""
 
     algorithm: str
-    kind: str  # "local" | "view" | "edge"
+    kind: str  # "local" | "view" | "edge" | "finite"
     needs_ids: bool
     needs_randomness: bool
     solves: Optional[Tuple[str, Mapping[str, Any]]]
@@ -161,7 +163,12 @@ def _contract_from_entry(entry: Any) -> Optional[Contract]:
             f"algorithm {entry.name!r} declares unknown invariances "
             f"{unknown} (known: {KNOWN_INVARIANCES})"
         )
-    default_layouts = LAYOUTS if kind in ("view", "edge") else ()
+    if kind in ("view", "edge"):
+        default_layouts: Tuple[str, ...] = LAYOUTS
+    elif kind == "finite":
+        default_layouts = ("kernel",)
+    else:
+        default_layouts = ()
     layouts = tuple(metadata.get("layouts", default_layouts))
     bad = [name for name in layouts if name not in known_layouts()]
     if bad:

@@ -41,6 +41,17 @@ the partition divergence even though the port-insensitive algorithm's
 outputs agree — proving a wrong closed form cannot hide behind a
 forgiving algorithm.
 
+:data:`BROKEN_TRIAL` is the finite-kind analogue: a
+:class:`~repro.speedup.algorithms.NodeAlgorithm` subclass whose honest
+``evaluate`` is the radius-1 local-maximum starter but whose
+*registered finite kernel* silently flips one trial's success — it
+runs the honest distinct-assignment kernel, then drops the last
+failing node (or invents one when the trial succeeded).  Declared with
+the finite layout axis ``("kernel",)``, so the fuzzer's
+``layout-identity`` check must flag the divergence between the batched
+kernel and the reference per-node loop — proving a kernel that
+miscounts even one trial cannot survive the pipeline.
+
 :func:`stale_cache_incremental_engine` is the incremental-engine
 analogue: an :class:`~repro.core.incremental.IncrementalEngine`
 subclass whose dirty-ball tracker "forgets" one touched node per
@@ -80,10 +91,12 @@ __all__ = [
     "BROKEN_KERNEL",
     "BROKEN_IMPLICIT",
     "BROKEN_IMPLICIT_FAMILY",
+    "BROKEN_TRIAL",
     "register_broken_fixture",
     "register_broken_layout_fixture",
     "register_broken_kernel_fixture",
     "register_broken_implicit_fixture",
+    "register_broken_trial_fixture",
     "stale_cache_incremental_engine",
     "stale_eviction_service_engine",
 ]
@@ -105,6 +118,9 @@ BROKEN_IMPLICIT = "broken-implicit-views"
 
 #: Graph-family registry name of the wrong-port implicit cycle.
 BROKEN_IMPLICIT_FAMILY = "broken-implicit-cycle"
+
+#: Registry name of the trial-flipping finite-kernel fixture algorithm.
+BROKEN_TRIAL = "broken-trial-kernel"
 
 
 def _make_broken_mis(radius: int = 1):
@@ -372,6 +388,73 @@ def register_broken_implicit_fixture() -> None:
         ),
         fixture=True,
         description="FIXTURE: graph family whose implicit twin swaps ports",
+    )
+
+
+_BROKEN_TRIAL_CLASS = None
+
+
+def _broken_trial_algorithm_class():
+    """The trial-flipping algorithm class, built (and registered) once.
+
+    Lazy like :func:`_inverted_kernel_rule_class`; the finite-kernel
+    registration on the subclass MRO-shadows the honest default kernel
+    registered on :class:`~repro.speedup.algorithms.NodeAlgorithm` —
+    the same override point a real finite-kernel author would use.
+    """
+    global _BROKEN_TRIAL_CLASS
+    if _BROKEN_TRIAL_CLASS is None:
+        from ..algorithms.kernels import node_algorithm_finite_kernel
+        from ..local_model.kernels import register_finite_kernel
+        from ..speedup.algorithms import NodeAlgorithm
+
+        class _TrialFlippingAlgorithm(NodeAlgorithm):
+            """Honest ``evaluate``; deliberately wrong finite kernel."""
+
+        @register_finite_kernel(_TrialFlippingAlgorithm)
+        def _flipping_kernel(algorithm, graph, values, tables):
+            outputs, failing = node_algorithm_finite_kernel(
+                algorithm, graph, values, tables
+            )
+            # Flip the trial's success: a failing run sheds its last
+            # witness (possibly becoming "successful"), a successful
+            # one gains a phantom.
+            return outputs, (failing[:-1] if failing else [0])
+
+        _BROKEN_TRIAL_CLASS = _TrialFlippingAlgorithm
+    return _BROKEN_TRIAL_CLASS
+
+
+def _make_broken_trial(k: int = 2, bits: int = 1):
+    from ..speedup.algorithms import local_maximum_coloring
+
+    honest = local_maximum_coloring(k, bits)
+    return _broken_trial_algorithm_class()(
+        k, 1, bits, 2, honest.fn, name=BROKEN_TRIAL
+    )
+
+
+def register_broken_trial_fixture() -> None:
+    """Register :data:`BROKEN_TRIAL` (idempotent; flagged ``fixture``).
+
+    The contract mirrors the production finite contracts (oriented
+    tori, ``k`` pinned to 2); only the registered finite kernel is
+    broken, so the ``layout-identity`` check's kernel-versus-reference
+    comparison is what must catch it.
+    """
+    if BROKEN_TRIAL in ALGORITHMS:
+        return
+    _broken_trial_algorithm_class()
+    ALGORITHMS.add(
+        BROKEN_TRIAL,
+        _make_broken_trial,
+        kind="finite",
+        domains=({"graph": "torus", "rows": (3, 5), "cols": (3, 5)},),
+        fuzz_params={"k": 2, "bits": (1, 2)},
+        layouts=("kernel",),
+        deltas=0,
+        fixture=True,
+        description="FIXTURE: registered finite kernel flips one trial",
     )
 
 

@@ -14,13 +14,17 @@ seed, and explicit labelings.  :func:`run_case` runs it through
     All backends produce equal :meth:`~repro.core.SimReport.identity`.
 ``layout-identity``
     Every graph layout the contract declares (``layouts=``, default
-    ``("dict", "csr")`` for view/edge kinds) reproduces the base
-    report bit for bit — on the direct backend, which gathers each
-    ball over the layout's arrays, *and* on the cached backend, which
-    keys its memo table off the layout's class partition.  This is how
-    the fuzzer exercises the batched CSR expander, and how the
-    self-test proves a deliberately-broken layout
-    (:data:`repro.conformance.fixtures.BROKEN_CSR_LAYOUT`) is caught.
+    ``("dict", "csr", "kernel")`` for view/edge kinds and
+    ``("kernel",)`` for the finite kind) reproduces the base report
+    bit for bit — on the direct backend, which gathers each ball over
+    the layout's arrays, *and* on the cached backend, which keys its
+    memo table off the layout's class partition.  This is how the
+    fuzzer exercises the batched CSR expander and the finite
+    distinct-assignment kernel, and how the self-test proves a
+    deliberately-broken layout
+    (:data:`repro.conformance.fixtures.BROKEN_CSR_LAYOUT`) and a
+    trial-flipping finite kernel
+    (:data:`repro.conformance.fixtures.BROKEN_TRIAL`) are caught.
 ``determinism``
     Re-running the same request bit-reproduces the report.
 ``port-permutation`` (when the contract declares it)
@@ -281,6 +285,33 @@ def _build_request(
     randomness: Optional[List[int]],
 ) -> SimRequest:
     algorithm = ALGORITHMS.create(case.algorithm, **case.algorithm_params)
+    if contract.kind == "finite":
+        # Finite requests run oriented-tree algorithms, so the case must
+        # come from an orientable family: the orientation is rebuilt
+        # from the graph parameters, and the per-node random values are
+        # seed-derived (one draw per node, in evaluation order) so every
+        # materialization of the same case agrees exactly.
+        if case.adjacency is not None or case.graph_family != "torus":
+            raise ValueError(
+                "finite conformance cases must come from the 'torus' "
+                "family (the orientation is derived from rows/cols)"
+            )
+        from ..graphs.orientation import orient_torus
+
+        orientation = orient_torus(
+            graph, case.graph_params["rows"], case.graph_params["cols"]
+        )
+        rng = random.Random(derive_seed(case.seed, "conformance-values"))
+        values = [rng.randrange(algorithm.values) for _ in graph.nodes()]
+        return SimRequest(
+            kind="finite",
+            graph=graph,
+            algorithm=algorithm,
+            orientation=orientation,
+            values=values,
+            seed=case.seed,
+            label=f"conformance:{case.algorithm}",
+        )
     return SimRequest(
         kind=contract.kind,
         graph=graph,

@@ -429,6 +429,62 @@ class DirectEngine(Engine):
         )
 
     # -- "finite": oriented-tree algorithms on finite graphs ------------
+    def _wants_finite_kernel(self, request: SimRequest) -> bool:
+        """Whether this ``finite`` request should try the batched kernel.
+
+        Same policy as :meth:`_wants_local_kernel`: explicit
+        ``layout="kernel"`` always tries, ``"auto"`` escalates only on
+        the ``prefer_csr`` backends when a kernel is registered — the
+        direct backend stays the reference per-node loop by default.
+        (No frozen-graph requirement: the finite reduction builds its
+        arc arrays from the neighbor lists.)
+        """
+        if request.layout == "kernel":
+            return True
+        return (
+            request.layout == "auto"
+            and self.prefer_csr
+            and request.graph.n > 0
+            and _kernels.finite_kernel_for(request.algorithm) is not None
+        )
+
+    def _run_finite_kernel(
+        self, request: SimRequest, tables, tracer: Optional[Tracer]
+    ) -> SimReport:
+        """The distinct-assignment kernel path (raises KernelUnsupported
+        back to :meth:`_run_finite` when the kernel declines)."""
+        graph, alg = request.graph, request.algorithm
+        fn = _kernels.finite_kernel_for(alg)
+        if fn is None:
+            raise _kernels.KernelUnsupported("no-kernel")
+        before = alg.cache.stats.copy() if tracer is not None else None
+        outputs, failing = fn(alg, graph, request.values, tables)
+        outputs, failing = list(outputs), list(failing)
+        if len(outputs) != graph.n:
+            raise RuntimeError(
+                f"finite kernel for {type(alg).__name__} returned "
+                f"{len(outputs)} outputs for {graph.n} nodes"
+            )
+        if tracer is not None:
+            tracer.on_run_start("finite", alg.name, graph.n)
+            ball_size = len(alg.ball.words)
+            for v in graph.nodes():
+                tracer.on_view(v, alg.t, ball_size, max(0, ball_size - 1))
+            tracer.on_kernel(
+                "finite", alg.name,
+                {"path": "vectorized", "reason": None, "entities": graph.n},
+            )
+            tracer.on_cache("finite", alg.cache.stats.delta(before).to_dict())
+            tracer.on_run_end(alg.t)
+        return SimReport(
+            kind="finite",
+            outputs=outputs,
+            rounds=alg.t,
+            failing_nodes=failing,
+            backend=self.name,
+            info={"kernel": "vectorized"},
+        )
+
     def _run_finite(
         self, request: SimRequest, tracer: Optional[Tracer]
     ) -> SimReport:
@@ -448,8 +504,21 @@ class DirectEngine(Engine):
         if tables is None:
             tables = resolve_ball_tables(alg, graph, request.orientation)
 
+        kernel_reason: Optional[str] = None
+        if self._wants_finite_kernel(request):
+            try:
+                return self._run_finite_kernel(request, tables, tracer)
+            except _kernels.KernelUnsupported as exc:
+                kernel_reason = str(exc)
+
         if tracer is not None:
             tracer.on_run_start("finite", alg.name, graph.n)
+            if kernel_reason is not None:
+                tracer.on_kernel(
+                    "finite", alg.name,
+                    {"path": "fallback", "reason": kernel_reason,
+                     "entities": graph.n},
+                )
             ball_size = len(alg.ball.words)
             for v in graph.nodes():
                 tracer.on_view(v, alg.t, ball_size, max(0, ball_size - 1))
@@ -469,10 +538,14 @@ class DirectEngine(Engine):
             # only the lookups this run contributed.
             tracer.on_cache("finite", alg.cache.stats.delta(before).to_dict())
             tracer.on_run_end(alg.t)
+        info: Dict[str, Any] = {}
+        if kernel_reason is not None:
+            info = {"kernel": "fallback", "kernel_reason": kernel_reason}
         return SimReport(
             kind="finite",
             outputs=outputs,
             rounds=alg.t,
             failing_nodes=failing,
             backend=self.name,
+            info=info,
         )

@@ -126,8 +126,12 @@ class SimRequest:
     registered; the direct backend stays on the reference path.  Layout
     choice is a pure performance knob: all layouts produce bit-identical
     reports (``tests/test_csr_parity.py``, ``tests/test_kernels.py``,
-    and the conformance ``layout-identity`` check prove it).  The
-    ``finite`` kind ignores the field.
+    and the conformance ``layout-identity`` check prove it).  For the
+    ``finite`` kind, ``"kernel"`` evaluates the run through the
+    distinct-assignment kernel of :mod:`repro.speedup.trial_kernel`
+    (``"auto"`` escalates on the memoizing backends when a kernel is
+    registered, exactly as for ``local``); other explicit layouts are
+    ignored.
     """
 
     kind: str

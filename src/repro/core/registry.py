@@ -229,6 +229,7 @@ _BUILTIN_MODULES = (
     "repro.algorithms.view_rules",
     "repro.algorithms.edge_rules",
     "repro.algorithms.kernels",
+    "repro.speedup.algorithms",
     "repro.experiments.runner",
 )
 

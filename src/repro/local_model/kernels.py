@@ -56,6 +56,8 @@ __all__ = [
     "view_kernel_for",
     "register_local_kernel",
     "local_kernel_for",
+    "register_finite_kernel",
+    "finite_kernel_for",
     "has_kernel",
     "run_view_kernel",
     "broadcast_table",
@@ -201,6 +203,27 @@ class PackedRows:
         )
         return self.buf[pos], bounds
 
+    def with_column(self, slot: str, values: np.ndarray) -> "PackedRows":
+        """A copy of these rows with one label section rewritten.
+
+        ``values`` aligns with :meth:`column`'s concatenated layout
+        (ball-exploration order, ``k[c]`` entries per class).  The
+        projection kernels use this to substitute derived labels — e.g.
+        per-class order ranks — while keeping every other section, and
+        therefore the inner kernel's parsing, untouched.
+        """
+        starts = self._column_start(slot)
+        total = int(self.k.sum())
+        bounds = _exclusive_cumsum(self.k)
+        pos = np.repeat(starts - bounds, self.k) + np.arange(
+            total, dtype=np.int64
+        )
+        buf = self.buf.copy()
+        buf[pos] = np.asarray(values, dtype=np.int64)
+        return PackedRows(self.count, self.tag, self.radius, self.flags,
+                          self.itemsize, buf, self.offsets, self.lengths,
+                          self.k)
+
     def segment_max(self, slot: str) -> np.ndarray:
         """Per-class maximum over one label section — int64[count]."""
         vals, bounds = self.column(slot)
@@ -230,6 +253,10 @@ _VIEW_KERNELS: Dict[type, Callable[[Any, PackedRows], Sequence[Any]]] = {}
 
 #: Local kernels: algorithm class -> LocalKernel factory.
 _LOCAL_KERNELS: Dict[type, Callable[[Any], "LocalKernel"]] = {}
+
+#: Finite kernels: algorithm class -> fn(algorithm, values, tables)
+#: -> (outputs, failing).  See :func:`register_finite_kernel`.
+_FINITE_KERNELS: Dict[type, Callable[..., Tuple[List[Any], List[int]]]] = {}
 
 _BUILTINS_LOADED = False
 
@@ -307,12 +334,47 @@ def local_kernel_for(algorithm: Any) -> Optional[Callable]:
     return None
 
 
+def register_finite_kernel(
+    algorithm_cls: type,
+) -> Callable[[Callable[..., Tuple[List[Any], List[int]]]],
+              Callable[..., Tuple[List[Any], List[int]]]]:
+    """Decorator: register a finite-runner kernel for an algorithm class.
+
+    The kernel is ``fn(algorithm, values, tables) -> (outputs, failing)``
+    where ``values`` is the per-node random assignment and ``tables``
+    the resolved ball tables (node -> ball-position -> node).  It must
+    reproduce the reference per-node evaluation loop — the same output
+    object per node and the same ascending list of failing nodes — or
+    raise :class:`KernelUnsupported`; MRO lookup as for
+    :func:`register_view_kernel`, so the conformance broken-trial
+    fixture can shadow the honest kernel on a subclass.
+    """
+
+    def decorator(fn):
+        _FINITE_KERNELS[algorithm_cls] = fn
+        return fn
+
+    return decorator
+
+
+def finite_kernel_for(algorithm: Any) -> Optional[Callable]:
+    """The registered finite kernel serving ``algorithm``, or ``None``."""
+    _load_builtin_kernels()
+    for klass in type(algorithm).__mro__:
+        fn = _FINITE_KERNELS.get(klass)
+        if fn is not None:
+            return fn
+    return None
+
+
 def has_kernel(algorithm: Any, kind: str) -> bool:
     """Whether ``algorithm`` registers a kernel for request ``kind``."""
     if kind in ("view", "edge"):
         return view_kernel_for(algorithm) is not None
     if kind == "local":
         return local_kernel_for(algorithm) is not None
+    if kind == "finite":
+        return finite_kernel_for(algorithm) is not None
     return False
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple, Union
 
 from ..analysis.towers import TowerNumber
+from ..core.registry import ALGORITHMS
 from ..local_model.cache import KeyedCache
 from .ball import EdgeBall, OrientedBall
 
@@ -259,3 +260,36 @@ def parity_coloring(k: int, bits: int = 1) -> NodeAlgorithm:
         return sum(assignment) % 2
 
     return NodeAlgorithm(k, 1, bits, 2, fn, name="parity")
+
+
+# ----------------------------------------------------------------------
+# Conformance contracts for the "finite" request kind
+# ----------------------------------------------------------------------
+# The radius-1 starters are fuzzable on oriented tori (the family the
+# finite runner accepts: locally tree-like at radius 1, orientation
+# rebuilt from rows/cols).  ``k`` is pinned to 2 — a 2-dimensional
+# torus has exactly two oriented dimensions.  No ``solves`` claim: a
+# weak-coloring *attempt* legitimately fails on bad randomness, so the
+# contracts promise identity, not correctness; the default ``finite``
+# layout axis ``("kernel",)`` turns every fuzz case into a
+# batched-kernel-versus-reference cross-proof.
+ALGORITHMS.add(
+    "finite-local-maximum",
+    local_maximum_coloring,
+    kind="finite",
+    domains=({"graph": "torus", "rows": (3, 6), "cols": (3, 6)},),
+    fuzz_params={"k": 2, "bits": (1, 2)},
+    invariances=("determinism", "backend-identity"),
+    deltas=0,
+    description="1-round local-maximum attempt on oriented tori",
+)
+ALGORITHMS.add(
+    "finite-smaller-count",
+    smaller_count_coloring,
+    kind="finite",
+    domains=({"graph": "torus", "rows": (3, 6), "cols": (3, 6)},),
+    fuzz_params={"k": 2, "bits": (1, 2)},
+    invariances=("determinism", "backend-identity"),
+    deltas=0,
+    description="1-round smaller-count attempt on oriented tori",
+)

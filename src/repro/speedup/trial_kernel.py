@@ -1,0 +1,448 @@
+"""Batched Monte Carlo kernels for the speedup pipeline.
+
+The finite runner and the local-failure estimators draw their
+randomness one ``rng.randrange`` call at a time and evaluate one ball
+assignment per Python call.  Trials are embarrassingly batchable: the
+random draws of a whole experiment can be produced as one array, and
+the evaluations collapse onto the *distinct* assignments (of which
+there are usually far fewer than ``trials * n``).
+
+This module supplies the two ingredients, both bound by the same
+bit-identity obligation as the round kernels in
+:mod:`repro.local_model.kernels`:
+
+**Stream-faithful batched draws.**  :func:`draw_randrange_block`
+returns exactly ``[rng.randrange(bound) for _ in range(count)]`` and
+leaves ``rng`` in exactly the state that loop would — but produces the
+block with NumPy when it can.  CPython's ``randrange`` consumes
+``bound.bit_length()``-bit slices of the Mersenne-Twister output and
+rejects slices ``>= bound``; since ``numpy.random.MT19937.random_raw``
+emits the *same* 32-bit word stream, we transplant the generator state,
+filter candidate words vectorized, and transplant the state back after
+replaying exactly the words the scalar loop would have consumed.  The
+recipe is self-verifying: :func:`faithful_fast_path` probes it against
+the interpreter's own ``randrange`` once per process and the fast path
+is disabled wholesale if the interpreter disagrees (the scalar fallback
+is the reference loop itself, so results never change either way).
+
+**Distinct-assignment evaluation.**  Ball assignments are encoded as
+base-``values`` integers (declined via :class:`KernelUnsupported` when
+the key would overflow int64), deduplicated with ``np.unique``, and
+only the distinct assignments reach the algorithm's ``evaluate``.
+Output equality — the only thing the failure predicates consume — is
+tracked through integer codes (:class:`OutputCoder`), so the per-trial
+"all neighbors agree" reductions are pure array ops.
+
+The callers — ``estimate_global_success(layout="kernel")``, the
+``finite`` request kind's engine kernel, and the Monte Carlo stages of
+:func:`repro.speedup.failure.node_local_failure` /
+``edge_local_failure`` — are proven bit-identical to their scalar
+loops by ``tests/test_speedup_kernels.py`` and the conformance
+``layout-identity`` axis.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..local_model.kernels import KernelUnsupported
+
+__all__ = [
+    "draw_randrange_block",
+    "faithful_fast_path",
+    "encode_reason",
+    "OutputCoder",
+    "arc_arrays",
+    "assignment_codes",
+    "map_color_codes",
+    "fail_counts",
+    "failing_nodes",
+]
+
+
+# ----------------------------------------------------------------------
+# Stream-faithful batched randrange
+# ----------------------------------------------------------------------
+
+def _mt_from_state(key: Sequence[int], pos: int) -> np.random.MT19937:
+    """A NumPy MT19937 positioned exactly where a CPython Random is."""
+    bg = np.random.MT19937()
+    bg.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": np.asarray(key, dtype=np.uint32), "pos": int(pos)},
+    }
+    return bg
+
+
+def _draw_fast(
+    rng: random.Random,
+    internal: Tuple[int, ...],
+    gauss: Any,
+    bound: int,
+    count: int,
+) -> np.ndarray:
+    """The vectorized draw; assumes the fast-path preconditions hold."""
+    key, pos = internal[:-1], internal[-1]
+    k = bound.bit_length()
+    shift = 32 - k
+    # randrange keeps a k-bit slice exactly when it is < bound, i.e.
+    # when the raw word is < bound << shift — testing the raw words
+    # avoids materializing a shifted copy of the whole block.
+    limit = np.uint64(bound << shift)
+    bg = _mt_from_state(key, pos)
+    out = np.empty(count, dtype=np.int64)
+    filled = 0
+    consumed = 0
+    while filled < count:
+        need = count - filled
+        # Acceptance probability is bound / 2**k (as low as ~1/2), so
+        # size the block by expectation plus slack: one pass almost
+        # always suffices, without a fixed worst-case overdraw.
+        expect = (need << k) // bound
+        block = max(1024, expect + (expect >> 4) + 64)
+        raw = bg.random_raw(block)
+        accept = raw < limit
+        accepted = raw[accept]
+        np.right_shift(accepted, np.uint64(shift), out=accepted)
+        if accepted.size >= need:
+            consumed += int(np.flatnonzero(accept)[need - 1]) + 1
+            out[filled:] = accepted[:need]
+            filled = count
+        else:
+            consumed += block
+            out[filled:filled + accepted.size] = accepted
+            filled += accepted.size
+    # Leave the Python rng exactly where the scalar loop would: replay
+    # the consumed words on a fresh transplant and copy the state back.
+    replay = _mt_from_state(key, pos)
+    if consumed:
+        replay.random_raw(consumed)
+    state = replay.state["state"]
+    rng.setstate(
+        (3, tuple(int(x) for x in state["key"]) + (int(state["pos"]),), gauss)
+    )
+    return out
+
+
+_FAST_PATH: Optional[bool] = None
+
+
+def faithful_fast_path() -> bool:
+    """Whether this interpreter's ``randrange`` matches the fast path.
+
+    Probed once per process against a few bounds (including the
+    rejection-heavy ``bound=5`` and the degenerate ``bound=1``).  A
+    mismatching interpreter — some future CPython changing its
+    rejection-sampling recipe — silently falls back to the scalar loop
+    everywhere, trading speed for unconditional fidelity.
+    """
+    global _FAST_PATH
+    if _FAST_PATH is None:
+        _FAST_PATH = True
+        for bound in (1, 2, 5, 12, (1 << 20) + 7):
+            probe = random.Random(0xC0FFEE ^ bound)
+            ref = random.Random(0xC0FFEE ^ bound)
+            version, internal, gauss = probe.getstate()
+            if version != 3 or len(internal) != 625:
+                _FAST_PATH = False
+                break
+            got = _draw_fast(probe, internal, gauss, bound, 64)
+            want = [ref.randrange(bound) for _ in range(64)]
+            if got.tolist() != want or probe.getstate() != ref.getstate():
+                _FAST_PATH = False
+                break
+    return _FAST_PATH
+
+
+def draw_randrange_block(
+    rng: random.Random, bound: int, count: int
+) -> np.ndarray:
+    """``[rng.randrange(bound) for _ in range(count)]`` as one int64 array.
+
+    Bit-identical to the scalar loop — the same values *and* the same
+    final ``rng`` state — on every code path.  Vectorized when ``rng``
+    is a plain :class:`random.Random` in its standard state format and
+    the interpreter passes :func:`faithful_fast_path`; otherwise (a
+    subclass, ``SystemRandom``, a bound above 32 bits) the loop itself
+    runs, so fidelity never depends on the fast path applying.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if (
+        type(rng) is random.Random
+        and 1 <= bound <= (1 << 32) - 1
+        and faithful_fast_path()
+    ):
+        version, internal, gauss = rng.getstate()
+        if version == 3 and len(internal) == 625:
+            return _draw_fast(rng, internal, gauss, bound, count)
+    return np.fromiter(
+        (rng.randrange(bound) for _ in range(count)),
+        dtype=np.int64, count=count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Distinct-assignment evaluation
+# ----------------------------------------------------------------------
+
+def encode_reason(values: int, length: int) -> Optional[str]:
+    """Why base-``values`` keys of ``length`` digits can't be int64."""
+    if length > 0 and values ** length > (1 << 63) - 1:
+        return (
+            f"unsupported: assignment key overflows int64 "
+            f"({values}^{length})"
+        )
+    return None
+
+
+class OutputCoder:
+    """Integer codes for algorithm outputs, consistent under ``==``.
+
+    Two outputs get the same code exactly when they compare equal —
+    the predicate the failure checks are built on.  Hashable outputs
+    (the overwhelmingly common case) go through a dict; the first
+    unhashable output degrades the coder to a linear ``==`` scan.
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._scan: Optional[List[Any]] = None
+
+    def code(self, output: Any) -> int:
+        if self._scan is None:
+            try:
+                return self._codes.setdefault(output, len(self._codes))
+            except TypeError:
+                # dict preserves insertion order, so existing codes are
+                # exactly the representatives' positions.
+                self._scan = list(self._codes)
+        scan = self._scan
+        for i, rep in enumerate(scan):
+            if rep == output:
+                return i
+        scan.append(output)
+        return len(scan) - 1
+
+
+def _evaluate_distinct(
+    evaluate: Callable[[Tuple[int, ...]], Any],
+    distinct: np.ndarray,
+    length: int,
+    values: int,
+) -> List[Any]:
+    """Decode distinct base-``values`` keys and evaluate each once."""
+    digits = np.empty((distinct.size, length), dtype=np.int64)
+    rem = distinct.copy()
+    for j in range(length - 1, -1, -1):
+        digits[:, j] = rem % values
+        rem //= values
+    return [evaluate(tuple(row)) for row in digits.tolist()]
+
+
+def _key_dtype(space: int) -> Any:
+    """Narrowest signed dtype holding every key of a ``space``-key code."""
+    if space <= (1 << 15) - 1:
+        return np.int16
+    if space <= (1 << 31) - 1:
+        return np.int32
+    return np.int64
+
+
+# Key spaces up to this size are deduplicated with a presence scatter
+# plus rank table (linear in the cell count) instead of np.unique's
+# sort.  Both produce the distinct keys in ascending order with the
+# same inverse mapping, so downstream results are identical.
+_SCATTER_SPACE = 1 << 22
+
+
+def _distinct_keys(keys: np.ndarray, space: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(keys, return_inverse=True)``, faster when ``space`` is small.
+
+    Returns ``(distinct, inverse)`` with ``distinct`` ascending int64
+    and ``inverse`` flat over ``keys.ravel()`` — exactly what
+    ``np.unique`` returns, by construction on both paths.
+    """
+    flat = keys.ravel()
+    if 0 < space <= _SCATTER_SPACE:
+        present = np.zeros(space, dtype=bool)
+        present[flat] = True
+        distinct = np.flatnonzero(present)
+        rank = np.empty(space, dtype=np.int32)
+        rank[distinct] = np.arange(distinct.size, dtype=np.int32)
+        return distinct, rank[flat]
+    distinct, inverse = np.unique(flat, return_inverse=True)
+    return distinct.astype(np.int64, copy=False), inverse
+
+
+def assignment_codes(
+    algorithm: Any,
+    matrix: np.ndarray,
+    tables: Sequence[Sequence[int]],
+    coder: Optional[OutputCoder] = None,
+) -> Tuple[np.ndarray, List[Any], np.ndarray]:
+    """Evaluate every (trial, node) ball assignment via distinct keys.
+
+    ``matrix`` is the ``(trials, n)`` random-value array; ``tables``
+    the resolved ball tables.  Returns ``(codes, outputs, inverse)``:
+    the per-cell output equality codes (``(trials, n)`` int64), the
+    outputs of the distinct assignments in key order, and the per-cell
+    index into that list — ``outputs[inverse[i, v]]`` is exactly the
+    object the reference loop's ``evaluate`` returns for that cell.
+
+    Raises :class:`KernelUnsupported` when the key encoding would
+    overflow int64 (see :func:`encode_reason`).
+    """
+    table = np.asarray(tables, dtype=np.int64)
+    length = int(table.shape[1])
+    values = algorithm.values
+    reason = encode_reason(values, length)
+    if reason is not None:
+        raise KernelUnsupported(reason)
+    space = values ** length if length > 0 else 1
+    dtype = _key_dtype(space)
+    mat = matrix.astype(dtype, copy=False)
+    if length == 0:
+        keys = np.zeros(matrix.shape, dtype=dtype)
+    else:
+        # Horner's rule in the narrowest dtype the key space allows:
+        # every intermediate is < space, so nothing can overflow.
+        keys = mat.take(table[:, 0], axis=1)
+        tmp = np.empty_like(keys)
+        for j in range(1, length):
+            keys *= dtype(values)
+            np.take(mat, table[:, j], axis=1, out=tmp)
+            keys += tmp
+    distinct, inverse = _distinct_keys(keys, space)
+    outputs = _evaluate_distinct(algorithm.evaluate, distinct, length, values)
+    coder = coder or OutputCoder()
+    distinct_codes = np.fromiter(
+        (coder.code(o) for o in outputs), dtype=np.int64, count=len(outputs)
+    ).astype(_key_dtype(max(len(outputs), 1)))
+    inverse = inverse.reshape(matrix.shape)
+    return distinct_codes[inverse], outputs, inverse
+
+
+def map_color_codes(
+    evaluate: Callable[[Tuple[int, ...]], Any],
+    matrix: np.ndarray,
+    emap: Sequence[int],
+    values: int,
+    coder: OutputCoder,
+) -> np.ndarray:
+    """Per-sample output codes of one ball projection.
+
+    ``matrix`` is the ``(samples, outer_size)`` assignment array and
+    ``emap`` a projection (``ball_assignment_key``'s index map); the
+    result codes ``evaluate(assignment[emap])`` per sample through the
+    shared ``coder``.  Raises :class:`KernelUnsupported` on key
+    overflow.
+    """
+    reason = encode_reason(values, len(emap))
+    if reason is not None:
+        raise KernelUnsupported(reason)
+    space = values ** len(emap) if emap else 1
+    dtype = _key_dtype(space)
+    mat = matrix.astype(dtype, copy=False)
+    if len(emap) == 0:
+        keys = np.zeros(mat.shape[0], dtype=dtype)
+    else:
+        keys = mat[:, emap[0]].copy()
+        for j in range(1, len(emap)):
+            keys *= dtype(values)
+            keys += mat[:, emap[j]]
+    distinct, inverse = _distinct_keys(keys, space)
+    outputs = _evaluate_distinct(evaluate, distinct, len(emap), values)
+    distinct_codes = np.fromiter(
+        (coder.code(o) for o in outputs), dtype=np.int64, count=len(outputs)
+    )
+    return distinct_codes[inverse]
+
+
+# ----------------------------------------------------------------------
+# Per-trial failure reduction
+# ----------------------------------------------------------------------
+
+def arc_arrays(graph: Any) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(degrees, indptr, indices)`` adjacency arrays of ``graph``.
+
+    Built from the neighbor lists directly (no frozen/CSR requirement
+    — the finite runner accepts any consistently-oriented graph).
+    """
+    n = graph.n
+    degrees = np.fromiter(
+        (graph.degree(v) for v in graph.nodes()), dtype=np.int64, count=n
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.fromiter(
+        (u for v in graph.nodes() for u in graph.neighbors(v)),
+        dtype=np.int64, count=int(indptr[-1]),
+    )
+    return degrees, indptr, indices
+
+
+def fail_counts(
+    codes: np.ndarray,
+    degrees: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> np.ndarray:
+    """Failing-node counts per trial from per-cell output codes.
+
+    A node fails when it has a neighbor at all and every neighbor
+    carries an equal output — exactly the reference runner's predicate.
+    Returns an int64 array of shape ``(trials,)``.
+    """
+    trials, n = codes.shape
+    if n == 0 or indices.size == 0:
+        return np.zeros(trials, dtype=np.int64)
+    maxdeg = int(degrees.max())
+    if maxdeg * n <= 2 * indices.size + n:
+        # Near-regular degrees: compare one neighbor slot at a time
+        # against a (trials, n) buffer.  Nodes shorter than the slot
+        # are padded with themselves, which agrees vacuously — the
+        # degree mask below removes isolated nodes either way.
+        base = np.arange(n, dtype=np.int64)
+        starts = indptr[:-1]
+        agree = np.ones((trials, n), dtype=bool)
+        gathered = np.empty((trials, n), dtype=codes.dtype)
+        slot_eq = np.empty((trials, n), dtype=bool)
+        for i in range(maxdeg):
+            col = base.copy()
+            sel = degrees > i
+            col[sel] = indices[starts[sel] + i]
+            np.take(codes, col, axis=1, out=gathered)
+            np.equal(gathered, codes, out=slot_eq)
+            agree &= slot_eq
+        return (agree & (degrees > 0)).sum(axis=1)
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    agree = codes[:, indices] == codes[:, src]
+    # Sentinel column keeps reduceat in bounds when trailing nodes are
+    # isolated; their (garbage) segments are masked out below.
+    agree = np.concatenate(
+        [agree, np.ones((trials, 1), dtype=bool)], axis=1
+    )
+    all_agree = np.logical_and.reduceat(agree, indptr[:-1], axis=1)
+    return (all_agree & (degrees > 0)).sum(axis=1)
+
+
+def failing_nodes(
+    codes_row: np.ndarray,
+    degrees: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> List[int]:
+    """Ascending failing-node list for one assignment (one codes row)."""
+    n = codes_row.shape[0]
+    if n == 0 or indices.size == 0:
+        return []
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    agree = np.concatenate(
+        [codes_row[indices] == codes_row[src], np.ones(1, dtype=bool)]
+    )
+    all_agree = np.logical_and.reduceat(agree, indptr[:-1])
+    return np.flatnonzero(all_agree & (degrees > 0)).tolist()

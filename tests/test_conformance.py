@@ -46,6 +46,8 @@ EXPECTED_CONTRACTS = {
     "degree-profile",
     "edge-profile",
     "edge-parity",
+    "finite-local-maximum",
+    "finite-smaller-count",
 }
 
 

@@ -47,7 +47,7 @@ from hypothesis import given, settings, strategies as st
 from repro.algorithms.message_passing import (
     ColeVishkinMP,
     FloodLeaderParity,
-    LubyMIS,
+    GreedySequentialColoring,
     RandomizedWeakColoring,
 )
 from repro.algorithms.view_rules import LocalMaximumRule, make_view_rule
@@ -277,8 +277,10 @@ def test_declined_kernel_preserves_master_rng_stream():
 
 
 def test_no_kernel_algorithm_falls_back_identically():
+    # Greedy coloring registers no round kernel (LubyMIS now does).
     request = SimRequest(
-        kind="local", graph=cycle(12), algorithm=LubyMIS(), seed=3
+        kind="local", graph=cycle(12), algorithm=GreedySequentialColoring(),
+        ids=list(range(12)), seed=3
     )
     reference = DirectEngine().run(request)
     kernel = DirectEngine().run(replace(request, layout="kernel"))

@@ -17,6 +17,7 @@ from repro.algorithms import (
 from repro.graphs import (
     Graph,
     balanced_regular_tree,
+    caterpillar,
     cycle,
     path,
     random_permutation_ids,
@@ -122,6 +123,54 @@ class TestLubyMIS:
         result = run_local(g, LubyMIS(), rng=random.Random(10))
         # O(log n) w.h.p.; allow a generous constant.
         assert result.rounds <= 40
+
+    @pytest.mark.parametrize("backend", ["direct", "cached", "sharded"])
+    def test_halts_with_mis_on_irregular_frozen_graphs(self, backend):
+        # Degree-irregular instances (the kernel's neighborhood-maximum
+        # reduction must handle ragged rows, halted neighbors, and
+        # leaves that win vacuously), frozen so the memoizing backends
+        # auto-escalate to the round kernel.
+        from repro.core import SimRequest, simulate
+
+        irregular = [
+            caterpillar(5, 2).freeze(),
+            star(7).freeze(),
+            Graph.from_adjacency(
+                [[1, 2, 3], [0], [0, 3], [0, 2, 4], [3], []]
+            ).freeze(),
+        ]
+        for seed, graph in enumerate(irregular):
+            report = simulate(
+                SimRequest(
+                    kind="local", graph=graph, algorithm=LubyMIS(),
+                    seed=seed,
+                ),
+                engine=backend,
+            )
+            assert report.all_halted()
+            assert MaximalIndependentSet().is_feasible(
+                graph, report.outputs
+            )
+
+    def test_kernel_matches_reference_bit_for_bit(self):
+        # The registered Luby round kernel must reproduce the reference
+        # loop's outputs AND halt rounds on an irregular frozen graph.
+        from dataclasses import replace
+
+        from repro.core import SimRequest, simulate
+
+        graph = caterpillar(6, 3).freeze()
+        for seed in range(4):
+            request = SimRequest(
+                kind="local", graph=graph, algorithm=LubyMIS(), seed=seed
+            )
+            reference = simulate(request, engine="direct")
+            kernel = simulate(
+                replace(request, layout="kernel"), engine="direct"
+            )
+            assert kernel.identity() == reference.identity()
+            assert kernel.info["kernel"] == "vectorized"
+            assert "kernel" not in reference.info
 
 
 class TestGreedySequentialColoring:

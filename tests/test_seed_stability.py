@@ -110,6 +110,71 @@ def test_random_delta_draw_order_is_pinned():
     ]
 
 
+# Batched-trial pins: the speedup trial kernel promises that
+# draw_randrange_block consumes the Mersenne-Twister stream exactly
+# like the scalar randrange loop, and that the batched
+# estimate_global_success reproduces the per-trial outcomes.  Each
+# entry pins, for (algorithm, seed) on the oriented 3x4 torus with 8
+# trials: the first six drawn values, the sum of the whole 96-value
+# block, and the per-trial failing-node counts.  Computed once from
+# the reference scalar loop; NEVER regenerate without bumping the
+# speedup-bench schema (see module docstring).
+GOLDEN_TRIALS = {
+    ("local-maximum", 0): ((1, 1, 0, 1, 1, 1), 49, (12, 12, 12, 7, 12, 7, 12, 7)),
+    ("local-maximum", 1): ((0, 0, 1, 0, 1, 1), 52, (12, 12, 12, 7, 12, 12, 12, 12)),
+    ("local-maximum", 2): ((0, 0, 0, 1, 0, 1), 49, (12, 12, 12, 12, 12, 7, 12, 12)),
+    ("local-maximum", 3): ((0, 0, 1, 1, 0, 0), 52, (12, 4, 12, 12, 7, 12, 12, 12)),
+    ("local-maximum", 4): ((0, 1, 0, 1, 1, 0), 51, (4, 12, 12, 12, 12, 12, 7, 12)),
+    ("smaller-count", 0): ((1, 1, 0, 1, 1, 1), 49, (0, 0, 0, 0, 0, 1, 0, 1)),
+    ("smaller-count", 1): ((0, 0, 1, 0, 1, 1), 52, (0, 1, 0, 0, 0, 0, 0, 0)),
+    ("smaller-count", 2): ((0, 0, 0, 1, 0, 1), 49, (0, 0, 0, 0, 0, 0, 2, 4)),
+    ("smaller-count", 3): ((0, 0, 1, 1, 0, 0), 52, (0, 2, 0, 0, 0, 0, 1, 0)),
+    ("smaller-count", 4): ((0, 1, 0, 1, 1, 0), 51, (0, 1, 0, 0, 0, 0, 0, 0)),
+}
+
+
+def test_batched_trial_draws_and_outcomes_match_golden_table():
+    import random
+
+    from repro.graphs.generators import toroidal_grid
+    from repro.graphs.orientation import orient_torus
+    from repro.instrumentation.tracer import Tracer
+    from repro.speedup import trial_kernel as tk
+    from repro.speedup.algorithms import (
+        local_maximum_coloring,
+        smaller_count_coloring,
+    )
+    from repro.speedup.finite_runner import estimate_global_success
+
+    class _Rec(Tracer):
+        def __init__(self):
+            self.failing = []
+
+        def on_trial(self, index, succeeded, failing_nodes):
+            self.failing.append(failing_nodes)
+
+    factories = {
+        "local-maximum": local_maximum_coloring,
+        "smaller-count": smaller_count_coloring,
+    }
+    graph = toroidal_grid(3, 4)
+    orientation = orient_torus(graph, 3, 4)
+    trials = 8
+    for (name, seed), (head, total, failing) in GOLDEN_TRIALS.items():
+        alg = factories[name](2, 1)
+        block = tk.draw_randrange_block(
+            random.Random(seed), alg.values, trials * graph.n
+        )
+        assert tuple(int(x) for x in block[:6]) == head, (name, seed)
+        assert int(block.sum()) == total, (name, seed)
+        rec = _Rec()
+        estimate_global_success(
+            alg, graph, orientation, trials, rng=random.Random(seed),
+            tracer=rec, layout="kernel",
+        )
+        assert tuple(rec.failing) == failing, (name, seed)
+
+
 def test_shard_seeds_are_layout_independent():
     # The sharded engine derives shard seeds from (seed, label, kind,
     # shard index) only — switching the class-detection layout between
